@@ -1,0 +1,62 @@
+// E13 — Theorem 6.6: the Elog⁻Δ aⁿbⁿ wrapper. Recognition cost over growing
+// children words; correctness (accepts exactly n == m) is covered by the
+// tests — this series measures the Δ-builtin evaluation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "src/elog/ast.h"
+#include "src/elog/eval.h"
+#include "src/tree/generator.h"
+
+namespace {
+
+using namespace mdatalog;
+
+const char* kAnBn = R"(
+  a0(X)   <- root(R), subelem(R, "a", X), notafter(R, "a", X).
+  b0(X)   <- root(R), subelem(R, "b", X), notafter(R, "b", X),
+             notbefore(R, "a", X).
+  anbn(X) <- root(X), contains(X, "a", Y), a0(Y),
+             before(X, "b", Y, Z, 50, 50), b0(Z).
+)";
+
+tree::Tree Word(int32_t n, int32_t m) {
+  std::vector<std::string> labels;
+  for (int32_t i = 0; i < n; ++i) labels.push_back("a");
+  for (int32_t i = 0; i < m; ++i) labels.push_back("b");
+  return tree::ChildrenWord("r", labels);
+}
+
+void BM_AnBn_Accept(benchmark::State& state) {
+  auto program = elog::ParseElog(kAnBn);
+  int32_t n = static_cast<int32_t>(state.range(0));
+  tree::Tree t = Word(n, n);
+  bool accepted = false;
+  for (auto _ : state) {
+    auto r = elog::EvaluateElog(*program, t);
+    accepted = r.ok() && !r->Of("anbn").empty();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+  state.counters["accepted"] = accepted ? 1 : 0;
+}
+BENCHMARK(BM_AnBn_Accept)->Range(8, 1 << 11)->Complexity();
+
+void BM_AnBn_Reject(benchmark::State& state) {
+  auto program = elog::ParseElog(kAnBn);
+  int32_t n = static_cast<int32_t>(state.range(0));
+  tree::Tree t = Word(n, n + 1);
+  bool accepted = true;
+  for (auto _ : state) {
+    auto r = elog::EvaluateElog(*program, t);
+    accepted = r.ok() && !r->Of("anbn").empty();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+  state.counters["accepted"] = accepted ? 1 : 0;
+}
+BENCHMARK(BM_AnBn_Reject)->Range(8, 1 << 11)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

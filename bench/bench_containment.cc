@@ -1,0 +1,69 @@
+// E10 — Corollary 5.12: containment of unary caterpillar queries. The
+// word-level decision procedure is the classical subset-construction product
+// (the PSPACE algorithm); cost grows with expression size. The randomized
+// tree-level falsifier provides the counterexample search.
+
+#include <benchmark/benchmark.h>
+
+#include "src/caterpillar/containment.h"
+#include "src/caterpillar/expr.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace mdatalog;
+using caterpillar::Concat;
+using caterpillar::ExprPtr;
+using caterpillar::Plus;
+using caterpillar::Rel;
+using caterpillar::Star;
+using caterpillar::Union;
+
+/// (child.child | child)^k — expression pairs of growing size.
+ExprPtr Tower(int32_t k) {
+  ExprPtr step = Union({Concat({Rel("child"), Rel("child")}), Rel("child")});
+  std::vector<ExprPtr> parts;
+  for (int32_t i = 0; i < k; ++i) parts.push_back(step);
+  return Concat(std::move(parts));
+}
+
+void BM_WordContainment_Positive(benchmark::State& state) {
+  ExprPtr e1 = Tower(static_cast<int32_t>(state.range(0)));
+  ExprPtr e2 = Star(Rel("child"));
+  for (auto _ : state) {
+    auto r = caterpillar::WordLanguageContained(e1, e2);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(caterpillar::ExprSize(e1));
+}
+BENCHMARK(BM_WordContainment_Positive)->DenseRange(1, 9, 2)->Complexity();
+
+void BM_WordContainment_Negative(benchmark::State& state) {
+  // child^k vs child^{k}.child: a length mismatch found by the search.
+  int32_t k = static_cast<int32_t>(state.range(0));
+  std::vector<ExprPtr> chain(k, Rel("child"));
+  ExprPtr e1 = Concat(chain);
+  chain.push_back(Rel("child"));
+  ExprPtr e2 = Concat(chain);
+  for (auto _ : state) {
+    auto r = caterpillar::WordLanguageContained(e1, e2);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_WordContainment_Negative)->DenseRange(2, 10, 2)->Complexity();
+
+void BM_TreeFalsifier(benchmark::State& state) {
+  ExprPtr e1 = Star(Rel("child"));
+  ExprPtr e2 = Plus(Rel("child"));
+  for (auto _ : state) {
+    util::Rng rng(9);
+    auto r = caterpillar::FindContainmentCounterexample(e1, e2, rng, 50, 20);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TreeFalsifier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E11 — Corollary 6.4: Elog⁻ wrappers evaluate in O(|P|·|dom|). The product
+// catalog wrapper over synthetic pages of growing size, through (a) the
+// native pattern-fixpoint evaluator and (b) the datalog translation; HTML
+// parsing is measured separately.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/grounder.h"
+#include "src/elog/ast.h"
+#include "src/elog/eval.h"
+#include "src/elog/to_datalog.h"
+#include "src/html/parser.h"
+#include "src/html/synthetic.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace mdatalog;
+
+const char* kWrapper = R"(
+  anynode(X) <- root(X).
+  anynode(X) <- anynode(P), subelem(P, "_", X).
+  item(X)   <- anynode(P), subelem(P, "tr@item", X).
+  name(Y)   <- item(X), subelem(X, "td@name", Y).
+  price(Y)  <- item(X), subelem(X, "td@price", Y).
+  seller(Y) <- item(X), subelem(X, "td@seller", Y).
+)";
+
+tree::Tree CatalogTree(int32_t items) {
+  util::Rng rng(3);
+  html::CatalogOptions opts;
+  opts.num_items = items;
+  opts.with_ads = true;
+  auto doc = html::ParseHtml(html::ProductCatalogPage(rng, opts));
+  return html::ProjectAttributeIntoLabels(*doc, "class");
+}
+
+void BM_HtmlParse(benchmark::State& state) {
+  util::Rng rng(3);
+  html::CatalogOptions opts;
+  opts.num_items = static_cast<int32_t>(state.range(0));
+  std::string page = html::ProductCatalogPage(rng, opts);
+  for (auto _ : state) {
+    auto doc = html::ParseHtml(page);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetComplexityN(static_cast<int64_t>(page.size()));
+  state.counters["bytes"] = static_cast<double>(page.size());
+}
+BENCHMARK(BM_HtmlParse)->Range(16, 1 << 13)->Complexity();
+
+void BM_ElogNative(benchmark::State& state) {
+  auto program = elog::ParseElog(kWrapper);
+  tree::Tree t = CatalogTree(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = elog::EvaluateElog(*program, t);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+  state.counters["nodes"] = static_cast<double>(t.size());
+}
+BENCHMARK(BM_ElogNative)->Range(16, 1 << 13)->Complexity();
+
+void BM_ElogViaDatalog(benchmark::State& state) {
+  auto program = elog::ParseElog(kWrapper);
+  auto datalog = elog::ElogToDatalog(*program, "price");
+  tree::Tree t = CatalogTree(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = core::EvaluateOnTree(*datalog, t);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_ElogViaDatalog)->Range(16, 1 << 11)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

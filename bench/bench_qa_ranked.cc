@@ -1,0 +1,78 @@
+// E6 — Example 4.21 + Theorem 4.11: terminating query-automaton runs take
+// Θ(((n+1)/2)^(α+1)) steps on complete binary trees; the datalog translation
+// evaluates the same query in O(β⁴·n). The two series expose the shape (and
+// the crossover) the paper argues; the "steps" counter reports the measured
+// automaton work.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/grounder.h"
+#include "src/qa/ranked.h"
+#include "src/qa/ranked_to_datalog.h"
+#include "src/tree/generator.h"
+
+namespace {
+
+using namespace mdatalog;
+
+void BM_BlowupQA_DirectRun(benchmark::State& state) {
+  qa::RankedQA a = qa::BlowupQAr(/*alpha=*/1);
+  tree::Tree t =
+      tree::CompleteBinaryTree(static_cast<int32_t>(state.range(0)), "a");
+  int64_t steps = 0;
+  for (auto _ : state) {
+    auto run = qa::RunRankedQA(a, t);
+    steps = run.ok() ? run->steps : -1;
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(t.size());
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["nodes"] = static_cast<double>(t.size());
+}
+// Depths 2..8: 7..511 nodes; steps grow ~4x per depth (superquadratic in n).
+BENCHMARK(BM_BlowupQA_DirectRun)->DenseRange(2, 8, 1)->Complexity();
+
+void BM_BlowupQA_DatalogTranslation(benchmark::State& state) {
+  qa::RankedQA a = qa::BlowupQAr(/*alpha=*/1);
+  auto program = qa::RankedQAToDatalog(a);
+  tree::Tree t =
+      tree::CompleteBinaryTree(static_cast<int32_t>(state.range(0)), "a");
+  for (auto _ : state) {
+    auto r = core::EvaluateOnTree(*program, t, core::Engine::kGrounded);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+  state.counters["nodes"] = static_cast<double>(t.size());
+}
+// The datalog route scales to far deeper trees (depth 14 = 32767 nodes).
+BENCHMARK(BM_BlowupQA_DatalogTranslation)->DenseRange(2, 14, 2)->Complexity();
+
+void BM_EvenAQA_DirectRun(benchmark::State& state) {
+  // Example 4.9's automaton is one-pass: linear, like its translation.
+  qa::RankedQA a = qa::EvenAQAr({"a"});
+  tree::Tree t =
+      tree::CompleteBinaryTree(static_cast<int32_t>(state.range(0)), "a");
+  for (auto _ : state) {
+    auto run = qa::RunRankedQA(a, t);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_EvenAQA_DirectRun)->DenseRange(4, 14, 2)->Complexity();
+
+void BM_EvenAQA_DatalogTranslation(benchmark::State& state) {
+  qa::RankedQA a = qa::EvenAQAr({"a"});
+  auto program = qa::RankedQAToDatalog(a);
+  tree::Tree t =
+      tree::CompleteBinaryTree(static_cast<int32_t>(state.range(0)), "a");
+  for (auto _ : state) {
+    auto r = core::EvaluateOnTree(*program, t, core::Engine::kGrounded);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_EvenAQA_DatalogTranslation)->DenseRange(4, 14, 2)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

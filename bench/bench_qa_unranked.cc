@@ -1,0 +1,76 @@
+// E7 — Theorem 4.14 / Example 4.15: SQAu direct runs vs. the uv*w-marking
+// datalog translation, on random unranked trees and on wide flat trees (the
+// Figure 2 workload, scaled).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/grounder.h"
+#include "src/qa/unranked.h"
+#include "src/qa/unranked_to_datalog.h"
+#include "src/tree/generator.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace mdatalog;
+
+tree::Tree WideTree(int32_t m) {
+  return tree::ChildrenWord("a", std::vector<std::string>(m, "a"));
+}
+
+void BM_SQAu_EvenA_DirectRun(benchmark::State& state) {
+  qa::UnrankedQA a = qa::EvenASQAu({"a", "b"});
+  util::Rng rng(1);
+  tree::Tree t = tree::RandomTree(rng, static_cast<int32_t>(state.range(0)),
+                                  {"a", "b"});
+  for (auto _ : state) {
+    auto run = qa::RunUnrankedQA(a, t);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_SQAu_EvenA_DirectRun)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_SQAu_EvenA_DatalogTranslation(benchmark::State& state) {
+  qa::UnrankedQA a = qa::EvenASQAu({"a", "b"});
+  auto program = qa::UnrankedQAToDatalog(a);
+  util::Rng rng(1);
+  tree::Tree t = tree::RandomTree(rng, static_cast<int32_t>(state.range(0)),
+                                  {"a", "b"});
+  for (auto _ : state) {
+    auto r = core::EvaluateOnTree(*program, t);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_SQAu_EvenA_DatalogTranslation)
+    ->Range(1 << 8, 1 << 12)
+    ->Complexity();
+
+void BM_SQAu_OddPositions_Figure2(benchmark::State& state) {
+  // The Example 4.15 down-language on a root with m children.
+  qa::UnrankedQA a = qa::OddPositionSQAu({"a"});
+  auto program = qa::UnrankedQAToDatalog(a);
+  tree::Tree t = WideTree(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = core::EvaluateOnTree(*program, t);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_SQAu_OddPositions_Figure2)->Range(1 << 6, 1 << 12)->Complexity();
+
+void BM_SQAu_Stay2Dfa(benchmark::State& state) {
+  qa::UnrankedQA a = qa::StayOddPositionSQAu({"a"});
+  tree::Tree t = WideTree(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto run = qa::RunUnrankedQA(a, t);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_SQAu_Stay2Dfa)->Range(1 << 6, 1 << 13)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

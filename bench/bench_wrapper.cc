@@ -1,0 +1,52 @@
+// E15 — the end-to-end Lixto scenario: HTML bytes → parse → attribute
+// projection → Elog⁻ evaluation → output tree → XML, over catalog pages of
+// growing size. The whole pipeline is linear in the page.
+
+#include <benchmark/benchmark.h>
+
+#include "src/elog/ast.h"
+#include "src/html/parser.h"
+#include "src/html/synthetic.h"
+#include "src/tree/serialize.h"
+#include "src/util/rng.h"
+#include "src/wrapper/wrapper.h"
+
+namespace {
+
+using namespace mdatalog;
+
+void BM_WrapCatalogEndToEnd(benchmark::State& state) {
+  util::Rng rng(3);
+  html::CatalogOptions opts;
+  opts.num_items = static_cast<int32_t>(state.range(0));
+  opts.with_ads = true;
+  std::string page = html::ProductCatalogPage(rng, opts);
+
+  auto program = elog::ParseElog(R"(
+    anynode(X) <- root(X).
+    anynode(X) <- anynode(P), subelem(P, "_", X).
+    item(X)  <- anynode(P), subelem(P, "tr@item", X).
+    price(Y) <- item(X), subelem(X, "td@price", Y).
+  )");
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"item", "price"};
+
+  int64_t extracted = 0;
+  for (auto _ : state) {
+    auto doc = html::ParseHtml(page);
+    tree::Tree t = html::ProjectAttributeIntoLabels(*doc, "class");
+    auto out = wrapper::WrapTree(w, t);
+    std::string xml = tree::ToXml(*out);
+    extracted = out->NumChildren(out->root());
+    benchmark::DoNotOptimize(xml);
+  }
+  state.SetComplexityN(static_cast<int64_t>(page.size()));
+  state.counters["items"] = static_cast<double>(extracted);
+  state.counters["page_bytes"] = static_cast<double>(page.size());
+}
+BENCHMARK(BM_WrapCatalogEndToEnd)->Range(16, 1 << 12)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

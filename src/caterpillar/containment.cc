@@ -1,0 +1,135 @@
+#include "src/caterpillar/containment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/caterpillar/eval.h"
+#include "src/caterpillar/nfa.h"
+#include "src/tree/generator.h"
+
+namespace mdatalog::caterpillar {
+
+namespace {
+
+/// An atomic caterpillar move, used as a letter.
+struct Letter {
+  bool is_test;
+  std::string name;
+  bool inverted;
+  auto operator<=>(const Letter&) const = default;
+};
+
+using StateSet = std::vector<int32_t>;  // sorted
+
+StateSet EpsClosure(const CatNfa& nfa, StateSet seed) {
+  std::vector<bool> in(nfa.NumStates(), false);
+  std::vector<int32_t> stack = seed;
+  for (int32_t s : seed) in[s] = true;
+  while (!stack.empty()) {
+    int32_t s = stack.back();
+    stack.pop_back();
+    for (const NfaEdge& e : nfa.states[s]) {
+      if (e.type == NfaEdge::Type::kEps && !in[e.target]) {
+        in[e.target] = true;
+        stack.push_back(e.target);
+      }
+    }
+  }
+  StateSet out;
+  for (int32_t s = 0; s < nfa.NumStates(); ++s) {
+    if (in[s]) out.push_back(s);
+  }
+  return out;
+}
+
+Letter LetterOf(const NfaEdge& e) {
+  return Letter{e.type == NfaEdge::Type::kTest, e.name,
+                e.type == NfaEdge::Type::kRel && e.inverted};
+}
+
+StateSet Step(const CatNfa& nfa, const StateSet& from, const Letter& l) {
+  std::set<int32_t> next;
+  for (int32_t s : from) {
+    for (const NfaEdge& e : nfa.states[s]) {
+      if (e.type == NfaEdge::Type::kEps) continue;
+      if (LetterOf(e) == l) next.insert(e.target);
+    }
+  }
+  return EpsClosure(nfa, StateSet(next.begin(), next.end()));
+}
+
+bool ContainsAccept(const StateSet& s, int32_t accept) {
+  return std::binary_search(s.begin(), s.end(), accept);
+}
+
+}  // namespace
+
+util::Result<bool> WordLanguageContained(const ExprPtr& e1, const ExprPtr& e2,
+                                         int64_t max_states) {
+  CatNfa n1 = CompileToNfa(e1);
+  CatNfa n2 = CompileToNfa(e2);
+
+  // Letters of n1 suffice: words of L(E1) only use them.
+  std::set<Letter> alphabet;
+  for (const auto& st : n1.states) {
+    for (const NfaEdge& e : st) {
+      if (e.type != NfaEdge::Type::kEps) alphabet.insert(LetterOf(e));
+    }
+  }
+
+  // Product search: (ε-closed state set of n1, ε-closed state set of n2).
+  // n1 is kept as a set too (cheaper than determinizing it separately).
+  using Config = std::pair<StateSet, StateSet>;
+  std::set<Config> visited;
+  std::vector<Config> stack;
+  Config start = {EpsClosure(n1, {n1.start}), EpsClosure(n2, {n2.start})};
+  visited.insert(start);
+  stack.push_back(start);
+
+  while (!stack.empty()) {
+    if (static_cast<int64_t>(visited.size()) > max_states) {
+      return util::Status::ResourceExhausted(
+          "containment product exceeded max_states");
+    }
+    auto [s1, s2] = std::move(stack.back());
+    stack.pop_back();
+    if (ContainsAccept(s1, n1.accept) && !ContainsAccept(s2, n2.accept)) {
+      return false;  // a word of L(E1) \ L(E2)
+    }
+    for (const Letter& l : alphabet) {
+      StateSet t1 = Step(n1, s1, l);
+      if (t1.empty()) continue;
+      StateSet t2 = Step(n2, s2, l);
+      Config next = {std::move(t1), std::move(t2)};
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+  }
+  return true;
+}
+
+util::Result<ContainmentWitness> FindContainmentCounterexample(
+    const ExprPtr& e1, const ExprPtr& e2, util::Rng& rng, int32_t trials,
+    int32_t max_nodes) {
+  CatNfa n1 = CompileToNfa(e1);
+  CatNfa n2 = CompileToNfa(e2);
+  for (int32_t trial = 0; trial < trials; ++trial) {
+    tree::Tree t = tree::RandomTree(
+        rng, 1 + static_cast<int32_t>(rng.Below(max_nodes)), {"a", "b", "c"});
+    MD_ASSIGN_OR_RETURN(std::vector<tree::NodeId> sel1,
+                        EvalImage(t, n1, {t.root()}));
+    if (sel1.empty()) continue;
+    MD_ASSIGN_OR_RETURN(std::vector<tree::NodeId> sel2,
+                        EvalImage(t, n2, {t.root()}));
+    for (tree::NodeId n : sel1) {
+      if (!std::binary_search(sel2.begin(), sel2.end(), n)) {
+        return ContainmentWitness{std::move(t), n};
+      }
+    }
+  }
+  return util::Status::NotFound("no counterexample found");
+}
+
+}  // namespace mdatalog::caterpillar

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "src/caterpillar/expr.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+/// \file containment.h
+/// Containment of unary caterpillar queries (Corollary 5.12).
+///
+/// The paper shows the problem PSPACE-complete via containment of monadic
+/// linear datalog and of regular expressions. Implemented here:
+///
+///  * WordLanguageContained — complete decision of containment at the *word*
+///    level: L(E1) ⊆ L(E2) over the alphabet of atomic caterpillar moves.
+///    Word containment is *sound* for tree containment (every witness path of
+///    E1 in any tree spells a word of L(E1) ⊆ L(E2), which the same path
+///    witnesses for E2), but not complete — distinct words may denote the
+///    same node pair. The decision procedure is the classical
+///    subset-construction product (the PSPACE upper-bound algorithm).
+///
+///  * FindContainmentCounterexample — randomized bounded falsification of
+///    tree-level containment of root.E1 ⊆ root.E2, producing a witness tree
+///    and node when the containment fails.
+
+namespace mdatalog::caterpillar {
+
+/// Decides L(E1) ⊆ L(E2) over atomic-move words. `max_states` bounds the
+/// explored product (NFA1 state × determinized-NFA2 subset) space; exceeding
+/// it yields ResourceExhausted (the problem is PSPACE-complete).
+util::Result<bool> WordLanguageContained(const ExprPtr& e1, const ExprPtr& e2,
+                                         int64_t max_states = 1 << 20);
+
+struct ContainmentWitness {
+  tree::Tree tree;
+  tree::NodeId node;  ///< selected by root.E1 but not by root.E2
+};
+
+/// Searches random trees (≤ max_nodes, `trials` attempts) for a witness that
+/// root.E1 ⊄ root.E2. Returns the witness, or NotFound if none was found
+/// (which is evidence of — not proof of — containment).
+util::Result<ContainmentWitness> FindContainmentCounterexample(
+    const ExprPtr& e1, const ExprPtr& e2, util::Rng& rng, int32_t trials = 200,
+    int32_t max_nodes = 40);
+
+}  // namespace mdatalog::caterpillar

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "src/caterpillar/expr.h"
+#include "src/core/ast.h"
+#include "src/util/result.h"
+
+/// \file to_datalog.h
+/// Lemma 5.9: compiling a caterpillar expression E and a unary predicate p
+/// into a monadic datalog program defining
+///
+///   p.E := { x | ∃x0. p(x0) ∧ ⟨x0,x⟩ ∈ [[E]] }.
+///
+/// The construction follows the proof: translate E into an ε-NFA A_E (after
+/// expanding child/lastchild over τ_ur and pushing inversions to the atoms),
+/// then emit one TMNF rule per NFA transition:
+///
+///   q_start(x)  ← p(x).
+///   q2(x)       ← q1(x).                      (ε transition)
+///   q2(x)       ← q1(x0), r(x0, x).           (relation edge)
+///   q2(x)       ← q1(x0), r(x, x0).           (inverted relation edge)
+///   q2(x)       ← q1(x), u(x).                (unary test edge)
+///   result(x)   ← q_accept(x).
+///
+/// All emitted rules are in TMNF (Definition 5.1); total size is O(|E|).
+
+namespace mdatalog::caterpillar {
+
+struct CaterpillarDatalogOptions {
+  /// τ_rk mode: admit child<k> relation edges and skip the child/lastchild
+  /// expansion (those names must not occur in ranked expressions).
+  bool ranked = false;
+};
+
+/// Appends the Lemma 5.9 rules to `program`. `source_pred` is p (unary; may
+/// be intensional or extensional within `program`); `prefix` namespaces the
+/// generated state predicates (prefix + "_q<i>", prefix + "_res"). Returns
+/// the predicate id of p.E.
+util::Result<core::PredId> AppendCaterpillarRules(
+    core::Program* program, core::PredId source_pred, const ExprPtr& e,
+    const std::string& prefix, const CaterpillarDatalogOptions& options = {});
+
+}  // namespace mdatalog::caterpillar

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/interner.h"
+#include "src/util/result.h"
+
+/// \file ast.h
+/// Abstract syntax of datalog programs (Section 3.1).
+///
+/// A datalog program is a set of rules  h ← b_1, …, b_n.  Atoms are
+/// p(x_1, …, x_m) over variables and constants (constants are tree-node ids).
+/// Monadic datalog restricts *intensional* predicates to arity ≤ 1 (arity 0 —
+/// propositional predicates — arises in the paper's own constructions, e.g.
+/// the connectedness split in the proof of Theorem 4.2, and is treated as
+/// monadic here).
+
+namespace mdatalog::core {
+
+/// Dense predicate id, scoped to one Program's PredicateTable.
+using PredId = int32_t;
+/// Variable index, scoped to one rule (0-based).
+using VarId = int32_t;
+
+/// A term: either a rule-scoped variable or a constant (domain element id).
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst };
+  Kind kind = Kind::kVar;
+  int32_t value = 0;  // VarId or constant
+
+  static Term Var(VarId v) { return {Kind::kVar, v}; }
+  static Term Const(int32_t c) { return {Kind::kConst, c}; }
+  bool is_var() const { return kind == Kind::kVar; }
+  bool operator==(const Term&) const = default;
+};
+
+/// An atom p(t_1, …, t_m).
+struct Atom {
+  PredId pred = -1;
+  std::vector<Term> args;
+  bool operator==(const Atom&) const = default;
+};
+
+/// A rule h ← b_1, …, b_n. `var_names` gives printable names for the rule's
+/// variables (index = VarId); generated rules use v0, v1, ….
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<std::string> var_names;
+
+  int32_t num_vars() const { return static_cast<int32_t>(var_names.size()); }
+};
+
+/// Predicate metadata: name and arity, interned per Program.
+class PredicateTable {
+ public:
+  /// Interns `name` with the given arity. Returns an error if `name` was
+  /// already interned with a different arity.
+  util::Result<PredId> Intern(std::string_view name, int32_t arity);
+
+  /// Like Intern but aborts on arity conflict (for programmatic construction
+  /// where the caller controls all names).
+  PredId MustIntern(std::string_view name, int32_t arity);
+
+  /// Id of `name` or -1.
+  PredId Find(std::string_view name) const { return names_.Find(name); }
+
+  const std::string& Name(PredId p) const { return names_.Name(p); }
+  int32_t Arity(PredId p) const {
+    MD_CHECK(p >= 0 && static_cast<size_t>(p) < arities_.size());
+    return arities_[p];
+  }
+  int32_t size() const { return names_.size(); }
+
+ private:
+  util::Interner names_;
+  std::vector<int32_t> arities_;
+};
+
+/// A datalog program: a predicate table plus a list of rules.
+///
+/// Intensional (IDB) predicates are those appearing in some rule head; all
+/// others are extensional (EDB) — Section 3.1. A program may designate one
+/// IDB predicate as the query predicate (unary queries, Section 3.1).
+class Program {
+ public:
+  PredicateTable& preds() { return preds_; }
+  const PredicateTable& preds() const { return preds_; }
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+
+  /// Marks `p` as the distinguished query predicate.
+  void set_query_pred(PredId p) { query_pred_ = p; }
+  PredId query_pred() const { return query_pred_; }
+
+  /// intensional[p] == true iff p occurs in some head.
+  std::vector<bool> IntensionalMask() const;
+
+  /// Total number of atoms over all rules (the |P| of the complexity bounds).
+  int64_t SizeInAtoms() const;
+
+ private:
+  PredicateTable preds_;
+  std::vector<Rule> rules_;
+  PredId query_pred_ = -1;
+};
+
+// --- construction helpers (used heavily by the translators) ----------------
+
+/// Builds an atom.
+Atom MakeAtom(PredId pred, std::vector<Term> args);
+
+/// Builds a rule, inventing variable names v0..v{k-1} for the highest
+/// variable index used.
+Rule MakeRule(Atom head, std::vector<Atom> body);
+
+/// Builds a rule with explicit variable names.
+Rule MakeRule(Atom head, std::vector<Atom> body,
+              std::vector<std::string> var_names);
+
+// --- pretty printing --------------------------------------------------------
+
+std::string ToString(const Program& program);
+std::string ToString(const Program& program, const Rule& rule);
+std::string ToString(const Program& program, const Rule& rule,
+                     const Atom& atom);
+
+}  // namespace mdatalog::core

@@ -1,0 +1,179 @@
+#include "src/core/database.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mdatalog::core {
+
+const std::vector<int32_t> Relation::kEmpty;
+
+void Relation::AddUnary(int32_t a) {
+  MD_DCHECK(arity_ == 1);
+  MD_DCHECK(a >= 0 && a < domain_size_);
+  if (unary_member_.empty()) unary_member_.resize(domain_size_, false);
+  if (unary_member_[a]) return;
+  unary_member_[a] = true;
+  unary_.push_back(a);
+}
+
+void Relation::AddBinary(int32_t a, int32_t b) {
+  MD_DCHECK(arity_ == 2);
+  MD_DCHECK(a >= 0 && a < domain_size_ && b >= 0 && b < domain_size_);
+  if (fwd_.empty()) {
+    fwd_.resize(domain_size_);
+    bwd_.resize(domain_size_);
+  }
+  pairs_.emplace_back(a, b);
+  fwd_[a].push_back(b);
+  bwd_[b].push_back(a);
+}
+
+bool Relation::ContainsUnary(int32_t a) const {
+  MD_DCHECK(arity_ == 1);
+  return !unary_member_.empty() && a >= 0 && a < domain_size_ &&
+         unary_member_[a];
+}
+
+bool Relation::ContainsBinary(int32_t a, int32_t b) const {
+  MD_DCHECK(arity_ == 2);
+  if (fwd_.empty() || a < 0 || a >= domain_size_) return false;
+  const std::vector<int32_t>& succ = fwd_[a];
+  return std::find(succ.begin(), succ.end(), b) != succ.end();
+}
+
+const std::vector<int32_t>& Relation::Forward(int32_t a) const {
+  MD_DCHECK(arity_ == 2);
+  if (fwd_.empty() || a < 0 || a >= domain_size_) return kEmpty;
+  return fwd_[a];
+}
+
+const std::vector<int32_t>& Relation::Backward(int32_t b) const {
+  MD_DCHECK(arity_ == 2);
+  if (bwd_.empty() || b < 0 || b >= domain_size_) return kEmpty;
+  return bwd_[b];
+}
+
+void ExplicitDatabase::AddFact(const std::string& pred) {
+  GetOrCreate(pred, 0)->SetNullaryTrue();
+}
+void ExplicitDatabase::AddFact(const std::string& pred, int32_t a) {
+  GetOrCreate(pred, 1)->AddUnary(a);
+}
+void ExplicitDatabase::AddFact(const std::string& pred, int32_t a, int32_t b) {
+  GetOrCreate(pred, 2)->AddBinary(a, b);
+}
+
+Relation* ExplicitDatabase::GetOrCreate(const std::string& name,
+                                        int32_t arity) {
+  auto key = std::make_pair(name, arity);
+  auto it = rels_.find(key);
+  if (it == rels_.end()) {
+    it = rels_.emplace(key, Relation(arity, domain_size_)).first;
+  }
+  return &it->second;
+}
+
+const Relation* ExplicitDatabase::Get(const std::string& name,
+                                      int32_t arity) const {
+  auto it = rels_.find(std::make_pair(name, arity));
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+std::string LabelPredName(const std::string& label) { return "label_" + label; }
+
+std::string LabelFromPredName(const std::string& name) {
+  if (name.rfind("label_", 0) == 0) return name.substr(6);
+  return "";
+}
+
+int32_t ChildKIndex(const std::string& name) {
+  if (name.rfind("child", 0) != 0 || name.size() <= 5) return -1;
+  int32_t k = 0;
+  for (size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    k = k * 10 + (name[i] - '0');
+  }
+  return k >= 1 ? k : -1;
+}
+
+bool TreeDatabase::IsTreePredicate(const std::string& name, int32_t arity) {
+  if (arity == 1) {
+    return name == "root" || name == "leaf" || name == "lastsibling" ||
+           name == "firstsibling" || !LabelFromPredName(name).empty();
+  }
+  if (arity == 2) {
+    return name == "firstchild" || name == "nextsibling" || name == "child" ||
+           name == "lastchild" || name == "nextsibling_tc" ||
+           ChildKIndex(name) >= 1;
+  }
+  return false;
+}
+
+const Relation* TreeDatabase::Get(const std::string& name,
+                                  int32_t arity) const {
+  if (!IsTreePredicate(name, arity)) return nullptr;
+  auto key = std::make_pair(name, arity);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+  return Materialize(name, arity);
+}
+
+const Relation* TreeDatabase::Materialize(const std::string& name,
+                                          int32_t arity) const {
+  using tree::kNoNode;
+  using tree::NodeId;
+  const tree::Tree& t = tree_;
+  Relation rel(arity, t.size());
+
+  if (arity == 1) {
+    std::string label = LabelFromPredName(name);
+    for (NodeId n = 0; n < t.size(); ++n) {
+      bool in = false;
+      if (name == "root") {
+        in = t.IsRoot(n);
+      } else if (name == "leaf") {
+        in = t.IsLeaf(n);
+      } else if (name == "lastsibling") {
+        in = t.IsLastSibling(n);
+      } else if (name == "firstsibling") {
+        in = t.IsFirstSibling(n);
+      } else {
+        in = (t.label_name(n) == label);
+      }
+      if (in) rel.AddUnary(n);
+    }
+  } else {
+    int32_t k = ChildKIndex(name);
+    for (NodeId n = 0; n < t.size(); ++n) {
+      if (name == "firstchild") {
+        if (t.first_child(n) != kNoNode) rel.AddBinary(n, t.first_child(n));
+      } else if (name == "nextsibling") {
+        if (t.next_sibling(n) != kNoNode) rel.AddBinary(n, t.next_sibling(n));
+      } else if (name == "child") {
+        for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+          rel.AddBinary(n, c);
+        }
+      } else if (name == "lastchild") {
+        if (t.last_child(n) != kNoNode) rel.AddBinary(n, t.last_child(n));
+      } else if (name == "nextsibling_tc") {
+        // Reflexive-transitive closure of nextsibling ([[E*]] is reflexive on
+        // the whole domain, Section 2).
+        rel.AddBinary(n, n);
+        for (NodeId s = t.next_sibling(n); s != kNoNode; s = t.next_sibling(s)) {
+          rel.AddBinary(n, s);
+        }
+      } else if (k >= 1) {
+        NodeId c = t.ChildK(n, k);
+        if (c != kNoNode) rel.AddBinary(n, c);
+      }
+    }
+  }
+
+  auto [it, inserted] =
+      cache_.emplace(std::make_pair(name, arity), std::move(rel));
+  MD_CHECK(inserted);
+  return &it->second;
+}
+
+}  // namespace mdatalog::core

@@ -1,0 +1,411 @@
+#include "src/core/grounder.h"
+
+#include <algorithm>
+
+#include "src/core/database.h"
+#include "src/core/validate.h"
+
+namespace mdatalog::core {
+
+namespace {
+
+/// Binary tree relations admissible for grounding: functional in both
+/// directions (Proposition 4.1).
+enum class TreeRel { kFirstChild, kNextSibling, kChildK };
+
+struct RelKind {
+  TreeRel rel;
+  int32_t k = 0;  // for kChildK
+};
+
+bool ClassifyBinary(const std::string& name, RelKind* out) {
+  if (name == "firstchild") {
+    *out = {TreeRel::kFirstChild, 0};
+    return true;
+  }
+  if (name == "nextsibling") {
+    *out = {TreeRel::kNextSibling, 0};
+    return true;
+  }
+  int32_t k = ChildKIndex(name);
+  if (k >= 1) {
+    *out = {TreeRel::kChildK, k};
+    return true;
+  }
+  return false;
+}
+
+/// y = f_R(x), or kNoNode.
+tree::NodeId ApplyForward(const tree::Tree& t, const RelKind& r,
+                          tree::NodeId x) {
+  switch (r.rel) {
+    case TreeRel::kFirstChild: return t.first_child(x);
+    case TreeRel::kNextSibling: return t.next_sibling(x);
+    case TreeRel::kChildK: return t.ChildK(x, r.k);
+  }
+  return tree::kNoNode;
+}
+
+/// x = f_R^{-1}(y), or kNoNode.
+tree::NodeId ApplyBackward(const tree::Tree& t, const RelKind& r,
+                           tree::NodeId y) {
+  switch (r.rel) {
+    case TreeRel::kFirstChild:
+      return (t.prev_sibling(y) == tree::kNoNode) ? t.parent(y) : tree::kNoNode;
+    case TreeRel::kNextSibling:
+      return t.prev_sibling(y);
+    case TreeRel::kChildK: {
+      // y must be exactly the k-th child of its parent.
+      tree::NodeId c = y;
+      for (int32_t steps = 1; steps < r.k; ++steps) {
+        c = t.prev_sibling(c);
+        if (c == tree::kNoNode) return tree::kNoNode;
+      }
+      if (t.prev_sibling(c) != tree::kNoNode) return tree::kNoNode;
+      return t.parent(y);
+    }
+  }
+  return tree::kNoNode;
+}
+
+bool CheckUnaryTreePred(const tree::Tree& t, const std::string& name,
+                        tree::NodeId n) {
+  if (name == "root") return t.IsRoot(n);
+  if (name == "leaf") return t.IsLeaf(n);
+  if (name == "lastsibling") return t.IsLastSibling(n);
+  if (name == "firstsibling") return t.IsFirstSibling(n);
+  std::string label = LabelFromPredName(name);
+  MD_CHECK(!label.empty());
+  return t.label_name(n) == label;
+}
+
+}  // namespace
+
+bool GroundableOverTree(const Program& program) {
+  if (!CheckSafety(program).ok()) return false;
+  if (!CheckMonadic(program).ok()) return false;
+  std::vector<bool> intensional = program.IntensionalMask();
+  for (const Rule& r : program.rules()) {
+    for (const Atom& a : r.body) {
+      if (intensional[a.pred]) continue;
+      const std::string& name = program.preds().Name(a.pred);
+      int32_t arity = program.preds().Arity(a.pred);
+      if (arity == 0) return false;  // no nullary EDB in the tree schema
+      if (arity == 1) {
+        if (name != "root" && name != "leaf" && name != "lastsibling" &&
+            name != "firstsibling" && LabelFromPredName(name).empty()) {
+          return false;
+        }
+      } else if (arity == 2) {
+        RelKind kind;
+        if (!ClassifyBinary(name, &kind)) return false;
+      } else {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Grounds a monadic program over a tree into a Horn instance and solves it.
+class GroundedEvaluator {
+ public:
+  GroundedEvaluator(const Program& program, const tree::Tree& t)
+      : program_(program),
+        tree_(t),
+        n_(t.size()),
+        intensional_(program.IntensionalMask()) {}
+
+  util::Result<EvalResult> Run(GroundStats* stats) {
+    if (!GroundableOverTree(program_)) {
+      return util::Status::FailedPrecondition(
+          "program not groundable over the functional tree schema; normalize "
+          "with the TMNF pipeline or use the semi-naive engine");
+    }
+    AssignAtomIds();
+    for (const Rule& rule : program_.rules()) GroundRule(rule);
+
+    horn_.num_atoms = next_atom_id_;
+    std::vector<bool> model = SolveHorn(horn_);
+
+    EvalResult result;
+    result.query_pred_ = program_.query_pred();
+    for (PredId p = 0; p < program_.preds().size(); ++p) {
+      if (!intensional_[p]) continue;
+      int32_t arity = program_.preds().Arity(p);
+      Relation rel(arity, std::max(n_, 1));
+      if (arity == 1) {
+        for (tree::NodeId node = 0; node < n_; ++node) {
+          if (model[UnaryAtomId(p, node)]) {
+            rel.AddUnary(node);
+            ++result.num_derived_;
+          }
+        }
+      } else {
+        if (model[NullaryAtomId(p)]) {
+          rel.SetNullaryTrue();
+          ++result.num_derived_;
+        }
+      }
+      result.idb_.emplace(p, std::move(rel));
+    }
+    result.num_iterations_ = 1;
+    if (stats != nullptr) {
+      stats->num_clauses = static_cast<int64_t>(horn_.clauses.size());
+      stats->num_atoms = next_atom_id_;
+      stats->num_literals = horn_.NumLiterals();
+    }
+    return result;
+  }
+
+ private:
+  void AssignAtomIds() {
+    unary_index_.assign(program_.preds().size(), -1);
+    nullary_index_.assign(program_.preds().size(), -1);
+    int32_t num_unary = 0;
+    for (PredId p = 0; p < program_.preds().size(); ++p) {
+      if (!intensional_[p]) continue;
+      if (program_.preds().Arity(p) == 1) unary_index_[p] = num_unary++;
+    }
+    next_atom_id_ = num_unary * n_;
+    for (PredId p = 0; p < program_.preds().size(); ++p) {
+      if (!intensional_[p]) continue;
+      if (program_.preds().Arity(p) == 0) nullary_index_[p] = next_atom_id_++;
+    }
+  }
+
+  int32_t UnaryAtomId(PredId p, tree::NodeId node) const {
+    MD_DCHECK(unary_index_[p] >= 0);
+    return unary_index_[p] * n_ + node;
+  }
+  int32_t NullaryAtomId(PredId p) const {
+    MD_DCHECK(nullary_index_[p] >= 0);
+    return nullary_index_[p];
+  }
+  int32_t FreshAtom() { return next_atom_id_++; }
+
+  /// Splits the rule into variable components (proof step 1) and grounds each
+  /// (proof step 2). Components not containing the head variable become
+  /// propositional bridge atoms.
+  void GroundRule(const Rule& rule) {
+    std::vector<int32_t> comp = RuleVarComponents(program_, rule);
+    int32_t num_comps =
+        rule.num_vars() == 0
+            ? 0
+            : 1 + *std::max_element(comp.begin(), comp.end());
+
+    int32_t head_comp = -1;
+    if (!rule.head.args.empty() && rule.head.args[0].is_var()) {
+      head_comp = comp[rule.head.args[0].value];
+    }
+
+    // Atoms per component; ground atoms (no variables) go to the main rule.
+    std::vector<std::vector<const Atom*>> comp_atoms(num_comps);
+    std::vector<const Atom*> ground_atoms;
+    for (const Atom& a : rule.body) {
+      int32_t c = -1;
+      for (const Term& t : a.args) {
+        if (t.is_var()) {
+          c = comp[t.value];
+          break;
+        }
+      }
+      if (c < 0) {
+        ground_atoms.push_back(&a);
+      } else {
+        comp_atoms[c].push_back(&a);
+      }
+    }
+
+    // Grounding of the fully ground part: EDB atoms checked now; IDB atoms
+    // become Horn literals shared by every instantiation.
+    std::vector<int32_t> shared_body;
+    for (const Atom* a : ground_atoms) {
+      if (!EmitGroundAtom(*a, /*binding=*/nullptr, &shared_body)) return;
+    }
+
+    // Bridge components.
+    for (int32_t c = 0; c < num_comps; ++c) {
+      if (c == head_comp) continue;
+      int32_t bridge = FreshAtom();
+      GroundComponent(rule, comp, c, comp_atoms[c],
+                      /*head_pred=*/-1, bridge, /*extra_body=*/{});
+      shared_body.push_back(bridge);
+    }
+
+    // Main part.
+    if (head_comp >= 0) {
+      GroundComponent(rule, comp, head_comp, comp_atoms[head_comp],
+                      rule.head.pred, /*fixed_head_atom=*/-1, shared_body);
+    } else {
+      // Ground or propositional head: a single clause.
+      int32_t head_atom;
+      if (rule.head.args.empty()) {
+        head_atom = NullaryAtomId(rule.head.pred);
+      } else {
+        int32_t c = rule.head.args[0].value;  // constant (safety: no free var)
+        if (c < 0 || c >= n_) return;
+        head_atom = UnaryAtomId(rule.head.pred, c);
+      }
+      horn_.clauses.push_back({head_atom, shared_body});
+    }
+  }
+
+  /// Grounds one variable component over all anchor nodes. If head_pred >= 0,
+  /// emits clauses with head head_pred(binding of the rule's head variable);
+  /// otherwise emits clauses with the fixed propositional head atom.
+  void GroundComponent(const Rule& rule, const std::vector<int32_t>& comp,
+                       int32_t c, const std::vector<const Atom*>& atoms,
+                       PredId head_pred, int32_t fixed_head_atom,
+                       const std::vector<int32_t>& extra_body) {
+    // Collect the component's variables and its var-var edges.
+    std::vector<VarId> vars;
+    for (VarId v = 0; v < rule.num_vars(); ++v) {
+      if (comp[v] == c) vars.push_back(v);
+    }
+    MD_CHECK(!vars.empty());
+    struct Edge {
+      VarId from, to;
+      RelKind rel;
+      bool forward;  // true: to = f(from); false: to = f^{-1}(from)
+    };
+    std::vector<std::vector<Edge>> adj(rule.num_vars());
+    for (const Atom* a : atoms) {
+      if (a->args.size() != 2 || !a->args[0].is_var() || !a->args[1].is_var()) {
+        continue;
+      }
+      RelKind kind;
+      MD_CHECK(ClassifyBinary(program_.preds().Name(a->pred), &kind));
+      VarId x = a->args[0].value, y = a->args[1].value;
+      adj[x].push_back({x, y, kind, true});
+      adj[y].push_back({y, x, kind, false});
+    }
+
+    VarId anchor = vars[0];
+    std::vector<tree::NodeId> binding(rule.num_vars(), tree::kNoNode);
+    std::vector<VarId> queue;
+    for (tree::NodeId node = 0; node < n_; ++node) {
+      // Reset only this component's bindings.
+      for (VarId v : vars) binding[v] = tree::kNoNode;
+      binding[anchor] = node;
+      queue.clear();
+      queue.push_back(anchor);
+      bool failed = false;
+      size_t qi = 0;
+      while (qi < queue.size() && !failed) {
+        VarId x = queue[qi++];
+        for (const Edge& e : adj[x]) {
+          tree::NodeId target =
+              e.forward ? ApplyForward(tree_, e.rel, binding[e.from])
+                        : ApplyBackward(tree_, e.rel, binding[e.from]);
+          if (target == tree::kNoNode) {
+            failed = true;
+            break;
+          }
+          if (binding[e.to] == tree::kNoNode) {
+            binding[e.to] = target;
+            queue.push_back(e.to);
+          } else if (binding[e.to] != target) {
+            failed = true;
+            break;
+          }
+        }
+      }
+      if (failed) continue;
+      MD_DCHECK(queue.size() == vars.size());  // component is connected
+
+      // Check EDB atoms; collect IDB literals.
+      std::vector<int32_t> body = extra_body;
+      bool sat = true;
+      for (const Atom* a : atoms) {
+        if (!EmitGroundAtom(*a, &binding, &body)) {
+          sat = false;
+          break;
+        }
+      }
+      if (!sat) continue;
+
+      int32_t head_atom = fixed_head_atom;
+      if (head_pred >= 0) {
+        head_atom = UnaryAtomId(head_pred, binding[rule.head.args[0].value]);
+      }
+      horn_.clauses.push_back({head_atom, std::move(body)});
+    }
+  }
+
+  /// For a (now fully bound) body atom: checks EDB atoms against the tree
+  /// (returning false if violated) and appends IDB atoms to `body`.
+  /// `binding` may be nullptr for atoms without variables.
+  bool EmitGroundAtom(const Atom& a, const std::vector<tree::NodeId>* binding,
+                      std::vector<int32_t>* body) {
+    auto value_of = [&](const Term& t) -> int32_t {
+      if (t.is_var()) {
+        MD_CHECK(binding != nullptr);
+        return (*binding)[t.value];
+      }
+      return t.value;
+    };
+    if (intensional_[a.pred]) {
+      if (a.args.empty()) {
+        body->push_back(NullaryAtomId(a.pred));
+      } else {
+        int32_t v = value_of(a.args[0]);
+        if (v < 0 || v >= n_) return false;
+        body->push_back(UnaryAtomId(a.pred, v));
+      }
+      return true;
+    }
+    const std::string& name = program_.preds().Name(a.pred);
+    if (a.args.size() == 1) {
+      int32_t v = value_of(a.args[0]);
+      if (v < 0 || v >= n_) return false;
+      return CheckUnaryTreePred(tree_, name, v);
+    }
+    MD_CHECK(a.args.size() == 2);
+    RelKind kind;
+    MD_CHECK(ClassifyBinary(name, &kind));
+    int32_t x = value_of(a.args[0]);
+    int32_t y = value_of(a.args[1]);
+    if (x < 0 || x >= n_ || y < 0 || y >= n_) return false;
+    return ApplyForward(tree_, kind, x) == y;
+  }
+
+  const Program& program_;
+  const tree::Tree& tree_;
+  int32_t n_;
+  std::vector<bool> intensional_;
+  std::vector<int32_t> unary_index_;
+  std::vector<int32_t> nullary_index_;
+  int32_t next_atom_id_ = 0;
+  HornInstance horn_;
+};
+
+util::Result<EvalResult> EvaluateGrounded(const Program& program,
+                                          const tree::Tree& t,
+                                          GroundStats* stats) {
+  GroundedEvaluator evaluator(program, t);
+  return evaluator.Run(stats);
+}
+
+util::Result<EvalResult> EvaluateOnTree(const Program& program,
+                                        const tree::Tree& t, Engine engine,
+                                        const EvalOptions& options) {
+  switch (engine) {
+    case Engine::kGrounded:
+      return EvaluateGrounded(program, t);
+    case Engine::kAuto:
+      if (GroundableOverTree(program)) return EvaluateGrounded(program, t);
+      [[fallthrough]];
+    case Engine::kSemiNaive: {
+      TreeDatabase db(t);
+      return EvaluateSemiNaive(program, db, options);
+    }
+    case Engine::kNaive: {
+      TreeDatabase db(t);
+      return EvaluateNaive(program, db, options);
+    }
+  }
+  return util::Status::Internal("unknown engine");
+}
+
+}  // namespace mdatalog::core

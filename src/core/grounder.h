@@ -1,0 +1,64 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/core/eval.h"
+#include "src/core/horn.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file grounder.h
+/// The Theorem 4.2 evaluator: monadic datalog over τ_rk / τ_ur in time
+/// O(|P| · |dom|).
+///
+/// Following the paper's proof, evaluation proceeds in three steps:
+///  1. every rule is made *connected* by splitting off variable components
+///     that do not contain the head variable into fresh propositional bridge
+///     predicates (p(x) ← p1(x), p2(y).  ⇒  p(x) ← p1(x), b.  and
+///     b ← p2(y).);
+///  2. each connected rule is grounded: by Proposition 4.1 every binary
+///     predicate of the tree schemata (firstchild, nextsibling, child_k) is
+///     functional in both directions, so fixing any one variable of a
+///     connected rule determines all others — each rule has only O(|dom|)
+///     ground instantiations, found by propagating along the rule's query
+///     graph from an anchor node;
+///  3. the resulting ground program is propositional Horn and is solved with
+///     the linear-time LTUR solver (Proposition 3.5).
+///
+/// Only the two-way-functional binary predicates are admitted; programs using
+/// child / lastchild / nextsibling_tc must first be normalized (TMNF pipeline,
+/// Theorem 5.2) or be evaluated with the semi-naive engine.
+
+namespace mdatalog::core {
+
+struct GroundStats {
+  int64_t num_clauses = 0;
+  int64_t num_atoms = 0;
+  int64_t num_literals = 0;
+};
+
+/// True iff every rule of `program` can be grounded by this evaluator
+/// (monadic + safe + EDB predicates limited to the functional tree schema).
+bool GroundableOverTree(const Program& program);
+
+/// Evaluates `program` over `t` per Theorem 4.2. Fails with
+/// FailedPrecondition if !GroundableOverTree(program).
+util::Result<EvalResult> EvaluateGrounded(const Program& program,
+                                          const tree::Tree& t,
+                                          GroundStats* stats = nullptr);
+
+/// Evaluation engine selection for the facade below.
+enum class Engine {
+  kAuto,       ///< grounded if eligible, else semi-naive
+  kGrounded,   ///< Theorem 4.2 (fails if not groundable)
+  kSemiNaive,  ///< delta-based fixpoint over TreeDatabase
+  kNaive,      ///< literal T_P iteration (supports tracing)
+};
+
+/// Facade: evaluates a monadic datalog program on a tree with the chosen
+/// engine.
+util::Result<EvalResult> EvaluateOnTree(const Program& program,
+                                        const tree::Tree& t,
+                                        Engine engine = Engine::kAuto,
+                                        const EvalOptions& options = {});
+
+}  // namespace mdatalog::core

@@ -1,0 +1,48 @@
+#include "src/core/horn.h"
+
+#include "src/util/check.h"
+
+namespace mdatalog::core {
+
+std::vector<bool> SolveHorn(const HornInstance& instance) {
+  const int32_t n = instance.num_atoms;
+  std::vector<bool> value(n, false);
+  // counter[c] = number of body occurrences not yet satisfied. Duplicate
+  // atoms in a body are counted per occurrence, so one decrement per
+  // occurrence keeps the counter exact.
+  std::vector<int32_t> counter(instance.clauses.size());
+  // occurrence lists: atom -> clause indices (one entry per occurrence)
+  std::vector<std::vector<int32_t>> occurs(n);
+  std::vector<int32_t> queue;
+
+  for (size_t ci = 0; ci < instance.clauses.size(); ++ci) {
+    const HornClause& c = instance.clauses[ci];
+    MD_DCHECK(c.head >= 0 && c.head < n);
+    counter[ci] = static_cast<int32_t>(c.body.size());
+    for (int32_t a : c.body) {
+      MD_DCHECK(a >= 0 && a < n);
+      occurs[a].push_back(static_cast<int32_t>(ci));
+    }
+    if (c.body.empty() && !value[c.head]) {
+      value[c.head] = true;
+      queue.push_back(c.head);
+    }
+  }
+
+  while (!queue.empty()) {
+    int32_t a = queue.back();
+    queue.pop_back();
+    for (int32_t ci : occurs[a]) {
+      if (--counter[ci] == 0) {
+        int32_t h = instance.clauses[ci].head;
+        if (!value[h]) {
+          value[h] = true;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace mdatalog::core

@@ -1,0 +1,196 @@
+#include "src/core/parser.h"
+
+#include <cctype>
+#include <map>
+
+namespace mdatalog::core {
+
+namespace {
+
+/// Hand-written recursive-descent parser; no exceptions, explicit Status.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<Program> Parse() {
+    Program program;
+    SkipWhitespaceAndComments();
+    while (pos_ < text_.size()) {
+      MD_RETURN_NOT_OK(ParseRule(&program));
+      SkipWhitespaceAndComments();
+    }
+    return program;
+  }
+
+ private:
+  util::Status ParseRule(Program* program) {
+    std::map<std::string, VarId> vars;
+    std::vector<std::string> var_names;
+    Atom head;
+    MD_RETURN_NOT_OK(ParseAtom(program, &vars, &var_names, &head));
+    std::vector<Atom> body;
+    SkipWhitespaceAndComments();
+    if (ConsumeLiteral(":-") || ConsumeLiteral("<-")) {
+      while (true) {
+        SkipWhitespaceAndComments();
+        Atom atom;
+        MD_RETURN_NOT_OK(ParseAtom(program, &vars, &var_names, &atom));
+        body.push_back(std::move(atom));
+        SkipWhitespaceAndComments();
+        if (ConsumeLiteral(",")) continue;
+        break;
+      }
+    }
+    if (!ConsumeLiteral(".")) {
+      return ErrorHere("expected '.' at end of rule");
+    }
+    Rule rule;
+    rule.head = std::move(head);
+    rule.body = std::move(body);
+    rule.var_names = std::move(var_names);
+    program->AddRule(std::move(rule));
+    return util::Status::OK();
+  }
+
+  util::Status ParseAtom(Program* program, std::map<std::string, VarId>* vars,
+                         std::vector<std::string>* var_names, Atom* out) {
+    SkipWhitespaceAndComments();
+    std::string name;
+    MD_RETURN_NOT_OK(ParseIdentifier(&name));
+    std::vector<Term> args;
+    SkipWhitespaceAndComments();
+    if (ConsumeLiteral("(")) {
+      while (true) {
+        SkipWhitespaceAndComments();
+        if (pos_ < text_.size() &&
+            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+             text_[pos_] == '-')) {
+          int32_t value = 0;
+          MD_RETURN_NOT_OK(ParseInteger(&value));
+          args.push_back(Term::Const(value));
+        } else {
+          std::string var;
+          MD_RETURN_NOT_OK(ParseIdentifier(&var));
+          auto it = vars->find(var);
+          VarId id;
+          if (it == vars->end()) {
+            id = static_cast<VarId>(var_names->size());
+            vars->emplace(var, id);
+            var_names->push_back(var);
+          } else {
+            id = it->second;
+          }
+          args.push_back(Term::Var(id));
+        }
+        SkipWhitespaceAndComments();
+        if (ConsumeLiteral(",")) continue;
+        if (ConsumeLiteral(")")) break;
+        return ErrorHere("expected ',' or ')' in argument list");
+      }
+    }
+    auto pred = program->preds().Intern(name, static_cast<int32_t>(args.size()));
+    if (!pred.ok()) return pred.status();
+    out->pred = *pred;
+    out->args = std::move(args);
+    return util::Status::OK();
+  }
+
+  util::Status ParseIdentifier(std::string* out) {
+    if (pos_ >= text_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '_')) {
+      return ErrorHere("expected identifier");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return util::Status::OK();
+  }
+
+  util::Status ParseInteger(int32_t* out) {
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return ErrorHere("expected integer");
+    }
+    int64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      if (value > INT32_MAX) return ErrorHere("integer constant too large");
+      ++pos_;
+    }
+    *out = static_cast<int32_t>(negative ? -value : value);
+    return util::Status::OK();
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  util::Status ErrorHere(const std::string& msg) {
+    int32_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return util::Status::InvalidArgument(msg + " at line " +
+                                         std::to_string(line) + ", column " +
+                                         std::to_string(col));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Program> ParseProgram(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+util::Result<Program> ParseProgramWithQuery(std::string_view text,
+                                            std::string_view query_pred) {
+  MD_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  PredId q = program.preds().Find(query_pred);
+  if (q < 0) {
+    return util::Status::NotFound("query predicate '" +
+                                  std::string(query_pred) +
+                                  "' does not occur in the program");
+  }
+  program.set_query_pred(q);
+  return program;
+}
+
+}  // namespace mdatalog::core

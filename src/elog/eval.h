@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/elog/ast.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file eval.h
+/// Native evaluation of Elog⁻ / Elog⁻Δ programs over document trees.
+///
+/// The evaluator runs the pattern fixpoint directly: the root pattern holds
+/// of the root node; each rule extends its head pattern from the parent
+/// pattern's instances through the subelem path and the conditions. The Δ
+/// builtins (before%, notafter, notbefore) are interpreted natively against
+/// document order and child positions — they have no datalog counterpart
+/// (Theorem 6.6: Elog⁻Δ exceeds MSO).
+
+namespace mdatalog::elog {
+
+/// The extracted pattern instances (the "information extraction functions"
+/// the wrapper defines — Section 6 intro).
+struct ElogResult {
+  std::map<std::string, std::vector<tree::NodeId>> matches;  ///< sorted
+
+  const std::vector<tree::NodeId>& Of(const std::string& pattern) const;
+};
+
+/// Nodes reachable from `start` via the fixed path π (Definition 6.1);
+/// "_" matches any label. Returned sorted.
+std::vector<tree::NodeId> PathTargets(const tree::Tree& t, tree::NodeId start,
+                                      const ElogPath& path);
+
+/// Evaluates the program. `max_derivations` bounds total pattern-instance
+/// insertions (guard against pathological programs).
+util::Result<ElogResult> EvaluateElog(const ElogProgram& program,
+                                      const tree::Tree& t,
+                                      int64_t max_derivations = 1 << 22);
+
+}  // namespace mdatalog::elog

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/elog/ast.h"
+#include "src/util/result.h"
+
+/// \file from_datalog.h
+/// The interesting direction of Theorem 6.5: every monadic datalog program
+/// over τ_ur translates to an equivalent Elog⁻ program. Following the proof,
+/// the input is first brought into TMNF (Theorem 5.2) — TMNF rules map to
+/// Elog⁻ almost one-for-one:
+///
+///   p(x) ← p0(x).                for τ_ur-unary p0 ∈ {root,leaf,lastsibling}
+///                                → specialization rule (root: parent
+///                                  pattern; others: dom + condition);
+///   p(x) ← label_a(x).           → p(x) ← dom(x0), subelem_a(x0, x)
+///                                  (label tests become subelem paths);
+///   p(x) ← p0(x), p1(x).         → specialization with a pattern reference;
+///   p(x) ← p0(x0), nextsibling…  → dom parent + nextsibling condition +
+///                                  pattern reference;
+///   p(x) ← p0(x0), firstchild(x0, x)
+///                                → p(x) ← p0(x0), subelem__(x0, x),
+///                                  firstsibling(x);
+///   p(x) ← p0(y), firstchild(x, y)
+///                                → p(x) ← dom(x), contains__(x, y),
+///                                  firstsibling(y), p0(y).
+///
+/// where "dom" is the match-anything pattern (two Elog⁻ rules, see the proof
+/// of Theorem 6.5).
+///
+/// Known corner (inherited from the paper's construction): a label test on
+/// the *root* node is not expressible — subelem descends from a parent, and
+/// the root is nobody's child. Real documents have a fixed root element
+/// (html / #document), so the restriction is vacuous there; the tests pin
+/// this caveat down explicitly.
+
+namespace mdatalog::elog {
+
+/// Translates `program` (monadic datalog over τ_ur ∪ {child, lastchild};
+/// run through ToTmnf internally). Pattern names are the original predicate
+/// names; generated TMNF helper predicates keep their "__" names.
+util::Result<ElogProgram> DatalogToElog(const core::Program& program);
+
+}  // namespace mdatalog::elog

@@ -1,0 +1,169 @@
+#include "src/elog/to_datalog.h"
+
+#include <map>
+
+#include "src/core/database.h"
+
+namespace mdatalog::elog {
+
+namespace {
+
+using core::Atom;
+using core::MakeAtom;
+using core::PredId;
+using core::Rule;
+using core::Term;
+using core::VarId;
+
+/// Per-rule variable allocator (Elog variables are named; datalog variables
+/// are indices).
+class VarMap {
+ public:
+  VarId Get(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    VarId id = static_cast<VarId>(names_.size());
+    ids_.emplace(name, id);
+    names_.push_back(name);
+    return id;
+  }
+  VarId Fresh() {
+    VarId id = static_cast<VarId>(names_.size());
+    names_.push_back("z" + std::to_string(id));
+    return id;
+  }
+  std::vector<std::string> names() { return names_; }
+
+ private:
+  std::map<std::string, VarId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+util::Result<core::Program> ElogToDatalog(const ElogProgram& program,
+                                          const std::string& query_pattern) {
+  MD_RETURN_NOT_OK(ValidateElog(program));
+  if (program.UsesDeltaBuiltins()) {
+    return util::Status::InvalidArgument(
+        "Elog⁻Δ builtins (before/notafter/notbefore) exceed MSO and have no "
+        "datalog translation (Theorem 6.6)");
+  }
+
+  core::Program out;
+  auto& preds = out.preds();
+  PredId root = preds.MustIntern("root", 1);
+  PredId child = preds.MustIntern("child", 2);
+  PredId leaf = preds.MustIntern("leaf", 1);
+  PredId firstsibling = preds.MustIntern("firstsibling", 1);
+  PredId lastsibling = preds.MustIntern("lastsibling", 1);
+  PredId nextsibling = preds.MustIntern("nextsibling", 2);
+
+  auto pattern_pred = [&](const std::string& name) -> util::Result<PredId> {
+    if (name == "root") return root;
+    return preds.Intern("pat_" + name, 1);
+  };
+
+  /// Expands subelem/contains: appends child/label atoms walking `path` from
+  /// `src`; returns the terminal variable (== src for the ε path).
+  auto expand_path = [&](VarMap& vars, VarId src, const ElogPath& path,
+                         std::vector<Atom>* body) -> VarId {
+    VarId cur = src;
+    for (const std::string& step : path.steps) {
+      VarId next = vars.Fresh();
+      body->push_back(MakeAtom(child, {Term::Var(cur), Term::Var(next)}));
+      if (step != "_") {
+        PredId lbl = preds.MustIntern(core::LabelPredName(step), 1);
+        body->push_back(MakeAtom(lbl, {Term::Var(next)}));
+      }
+      cur = next;
+    }
+    return cur;
+  };
+
+  for (const ElogRule& rule : program.rules()) {
+    VarMap vars;
+    std::vector<Atom> body;
+
+    VarId parent_var = vars.Get(rule.parent_var);
+    MD_ASSIGN_OR_RETURN(PredId parent, pattern_pred(rule.parent_pattern));
+    body.push_back(MakeAtom(parent, {Term::Var(parent_var)}));
+
+    VarId head_var;
+    if (rule.is_specialization()) {
+      head_var = parent_var;
+    } else {
+      // The path has ≥1 step; the final step's variable is the head var.
+      ElogPath prefix = rule.subelem;
+      std::string last = prefix.steps.back();
+      prefix.steps.pop_back();
+      VarId before_last = expand_path(vars, parent_var, prefix, &body);
+      head_var = vars.Get(rule.head_var);
+      body.push_back(
+          MakeAtom(child, {Term::Var(before_last), Term::Var(head_var)}));
+      if (last != "_") {
+        PredId lbl = preds.MustIntern(core::LabelPredName(last), 1);
+        body.push_back(MakeAtom(lbl, {Term::Var(head_var)}));
+      }
+    }
+
+    for (const ElogCondition& c : rule.conditions) {
+      using K = ElogCondition::Kind;
+      switch (c.kind) {
+        case K::kLeaf:
+          body.push_back(MakeAtom(leaf, {Term::Var(vars.Get(c.var1))}));
+          break;
+        case K::kFirstSibling:
+          body.push_back(
+              MakeAtom(firstsibling, {Term::Var(vars.Get(c.var1))}));
+          break;
+        case K::kLastSibling:
+          body.push_back(
+              MakeAtom(lastsibling, {Term::Var(vars.Get(c.var1))}));
+          break;
+        case K::kNextSibling:
+          body.push_back(MakeAtom(nextsibling, {Term::Var(vars.Get(c.var1)),
+                                                Term::Var(vars.Get(c.var2))}));
+          break;
+        case K::kContains: {
+          // contains: like subelem but the target is c.var2.
+          ElogPath prefix = c.path;
+          std::string last = prefix.steps.back();
+          prefix.steps.pop_back();
+          VarId before_last =
+              expand_path(vars, vars.Get(c.var1), prefix, &body);
+          VarId target = vars.Get(c.var2);
+          body.push_back(
+              MakeAtom(child, {Term::Var(before_last), Term::Var(target)}));
+          if (last != "_") {
+            PredId lbl = preds.MustIntern(core::LabelPredName(last), 1);
+            body.push_back(MakeAtom(lbl, {Term::Var(target)}));
+          }
+          break;
+        }
+        case K::kPatternRef: {
+          MD_ASSIGN_OR_RETURN(PredId p, pattern_pred(c.pattern));
+          body.push_back(MakeAtom(p, {Term::Var(vars.Get(c.var1))}));
+          break;
+        }
+        default:
+          return util::Status::Internal("Δ builtin slipped past the check");
+      }
+    }
+
+    MD_ASSIGN_OR_RETURN(PredId head, pattern_pred(rule.head_pattern));
+    Rule out_rule;
+    out_rule.head = MakeAtom(head, {Term::Var(head_var)});
+    out_rule.body = std::move(body);
+    out_rule.var_names = vars.names();
+    out.AddRule(std::move(out_rule));
+  }
+
+  if (!query_pattern.empty()) {
+    MD_ASSIGN_OR_RETURN(PredId q, pattern_pred(query_pattern));
+    out.set_query_pred(q);
+  }
+  return out;
+}
+
+}  // namespace mdatalog::elog

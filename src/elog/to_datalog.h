@@ -1,0 +1,28 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/elog/ast.h"
+#include "src/util/result.h"
+
+/// \file to_datalog.h
+/// The easy direction of Theorem 6.5: Elog⁻ is a fragment of monadic datalog
+/// over τ_ur ∪ {child} once the subelemπ / containsπ shortcuts are expanded
+/// per Definition 6.1:
+///
+///   subelem_ε(x, y)   :=  x = y           (variable substitution)
+///   subelem_{_.π}(x,y) :=  child(x, z), subelem_π(z, y)
+///   subelem_{a.π}(x,y) :=  child(x, z), label_a(z), subelem_π(z, y)
+///
+/// The root pattern becomes the extensional root predicate; pattern
+/// predicates become intensional unary predicates; condition predicates map
+/// to their τ_ur counterparts. Δ builtins have no MSO/datalog counterpart
+/// (Theorem 6.6) and are rejected.
+
+namespace mdatalog::elog {
+
+/// Translates an Elog⁻ program. `query_pattern` (optional, may be empty)
+/// designates the program's query predicate.
+util::Result<core::Program> ElogToDatalog(const ElogProgram& program,
+                                          const std::string& query_pattern = "");
+
+}  // namespace mdatalog::elog

@@ -1,0 +1,171 @@
+#include "src/html/parser.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "src/html/tokenizer.h"
+
+namespace mdatalog::html {
+
+namespace {
+
+const std::set<std::string>& VoidElements() {
+  static const std::set<std::string> kVoid = {
+      "area", "base", "br",    "col",  "embed", "hr",   "img",
+      "input", "link", "meta", "param", "source", "track", "wbr"};
+  return kVoid;
+}
+
+/// Returns the set of open tags that a start tag `name` implicitly closes.
+std::vector<std::string> AutoCloses(const std::string& name) {
+  if (name == "li") return {"li"};
+  if (name == "td" || name == "th") return {"td", "th"};
+  if (name == "tr") return {"tr", "td", "th"};
+  if (name == "p") return {"p"};
+  if (name == "option") return {"option"};
+  if (name == "dd" || name == "dt") return {"dd", "dt"};
+  return {};
+}
+
+}  // namespace
+
+std::string Document::GetAttr(tree::NodeId n, const std::string& name) const {
+  if (static_cast<size_t>(n) >= attrs_.size()) return "";
+  for (const auto& [k, v] : attrs_[n]) {
+    if (k == name) return v;
+  }
+  return "";
+}
+
+bool Document::HasAttr(tree::NodeId n, const std::string& name) const {
+  if (static_cast<size_t>(n) >= attrs_.size()) return false;
+  for (const auto& [k, v] : attrs_[n]) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::vector<tree::NodeId> Document::NodesWithAttr(
+    const std::string& name, const std::string& value) const {
+  std::vector<tree::NodeId> out;
+  for (tree::NodeId n = 0; n < tree_.size(); ++n) {
+    if (GetAttr(n, name) == value) out.push_back(n);
+  }
+  return out;
+}
+
+util::Result<Document> ParseHtml(std::string_view html) {
+  std::vector<Token> tokens = Tokenize(html);
+
+  // First pass: count top-level elements to decide on a synthetic root.
+  // We simply always build under a "#document" root, then strip it if it has
+  // exactly one element child and no text children.
+  tree::TreeBuilder builder;
+  std::vector<std::vector<std::pair<std::string, std::string>>> attrs;
+  tree::NodeId root = builder.Root("#document");
+  attrs.push_back({});
+
+  // Stack of open nodes: (node id, tag name).
+  std::vector<std::pair<tree::NodeId, std::string>> stack = {
+      {root, "#document"}};
+
+  auto open_node = [&](const std::string& tag,
+                       const std::vector<Attribute>& tag_attrs) {
+    tree::NodeId n = builder.Child(stack.back().first, tag);
+    attrs.resize(n + 1);
+    for (const Attribute& a : tag_attrs) attrs[n].emplace_back(a.name, a.value);
+    return n;
+  };
+
+  for (const Token& token : tokens) {
+    switch (token.type) {
+      case Token::Type::kDoctype:
+      case Token::Type::kComment:
+        break;  // not represented in the document tree
+      case Token::Type::kText: {
+        tree::NodeId n = open_node("#text", {});
+        builder.SetText(n, token.data);
+        break;
+      }
+      case Token::Type::kStartTag: {
+        // Pop every implicitly-closed element (e.g. <tr> closes an open td
+        // and then the open tr).
+        const std::vector<std::string> closes = AutoCloses(token.data);
+        while (stack.size() > 1 &&
+               std::find(closes.begin(), closes.end(),
+                         stack.back().second) != closes.end()) {
+          stack.pop_back();
+        }
+        tree::NodeId n = open_node(token.data, token.attrs);
+        bool is_void = VoidElements().count(token.data) > 0;
+        if (!is_void && !token.self_closing) stack.emplace_back(n, token.data);
+        break;
+      }
+      case Token::Type::kEndTag: {
+        // Find the matching open tag; ignore the end tag if there is none.
+        int32_t match = -1;
+        for (int32_t i = static_cast<int32_t>(stack.size()) - 1; i >= 1; --i) {
+          if (stack[i].second == token.data) {
+            match = i;
+            break;
+          }
+        }
+        if (match >= 1) stack.resize(match);
+        break;
+      }
+    }
+  }
+
+  tree::Tree full = builder.Build();
+  if (full.size() == 1) {
+    return util::Status::InvalidArgument("no content in HTML input");
+  }
+  // Strip the synthetic root when the document has a unique top-level node.
+  if (full.NumChildren(full.root()) == 1) {
+    tree::NodeId top = full.first_child(full.root());
+    // Rebuild rooted at `top` (node ids shift down by one).
+    tree::TreeBuilder rebuilt;
+    std::vector<std::vector<std::pair<std::string, std::string>>> new_attrs;
+    std::function<void(tree::NodeId, tree::NodeId)> copy =
+        [&](tree::NodeId src, tree::NodeId dst_parent) {
+          tree::NodeId dst =
+              dst_parent == tree::kNoNode
+                  ? rebuilt.Root(full.label_name(src))
+                  : rebuilt.Child(dst_parent, full.label_name(src));
+          new_attrs.push_back(attrs[src]);
+          if (full.HasText(src)) rebuilt.SetText(dst, full.text(src));
+          for (tree::NodeId c = full.first_child(src); c != tree::kNoNode;
+               c = full.next_sibling(c)) {
+            copy(c, dst);
+          }
+        };
+    copy(top, tree::kNoNode);
+    return Document(rebuilt.Build(), std::move(new_attrs));
+  }
+  return Document(std::move(full), std::move(attrs));
+}
+
+tree::Tree ProjectAttributeIntoLabels(const Document& doc,
+                                      const std::string& attr) {
+  const tree::Tree& t = doc.tree();
+  tree::TreeBuilder builder;
+  std::function<void(tree::NodeId, tree::NodeId)> copy =
+      [&](tree::NodeId src, tree::NodeId dst_parent) {
+        std::string label = t.label_name(src);
+        std::string value = doc.GetAttr(src, attr);
+        if (!value.empty()) label += "@" + value;
+        tree::NodeId dst = dst_parent == tree::kNoNode
+                               ? builder.Root(label)
+                               : builder.Child(dst_parent, label);
+        if (t.HasText(src)) builder.SetText(dst, t.text(src));
+        for (tree::NodeId c = t.first_child(src); c != tree::kNoNode;
+             c = t.next_sibling(c)) {
+          copy(c, dst);
+        }
+      };
+  copy(t.root(), tree::kNoNode);
+  return builder.Build();
+}
+
+}  // namespace mdatalog::html

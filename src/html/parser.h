@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file parser.h
+/// HTML tree construction: the pre-parsed document trees that tree-based
+/// wrapping (Section 1) presupposes.
+///
+/// The builder is forgiving in the usual browser ways: void elements never
+/// nest; li/p/td/th/tr/option/dd/dt auto-close their predecessors; unmatched
+/// end tags are ignored; everything still open at end of input is closed.
+/// Text runs become leaf nodes labeled "#text" whose payload is the decoded
+/// character data — the "lists of character symbols modeled as subtrees"
+/// reading of Remark 2.2.
+
+namespace mdatalog::html {
+
+/// A parsed document: the label tree plus per-node attribute lists (kept out
+/// of the Tree so the τ_ur schema stays exactly the paper's).
+class Document {
+ public:
+  Document(tree::Tree t, std::vector<std::vector<std::pair<std::string,
+           std::string>>> attrs)
+      : tree_(std::move(t)), attrs_(std::move(attrs)) {}
+
+  const tree::Tree& tree() const { return tree_; }
+
+  /// Value of attribute `name` on `n`, or "" if absent.
+  std::string GetAttr(tree::NodeId n, const std::string& name) const;
+  bool HasAttr(tree::NodeId n, const std::string& name) const;
+
+  /// All nodes whose attribute `name` equals `value`.
+  std::vector<tree::NodeId> NodesWithAttr(const std::string& name,
+                                          const std::string& value) const;
+
+ private:
+  tree::Tree tree_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> attrs_;
+};
+
+/// Parses HTML into a Document. If the markup has several top-level nodes, a
+/// synthetic root labeled "#document" is added (the paper's trees have a
+/// unique root). Fails only on empty input.
+util::Result<Document> ParseHtml(std::string_view html);
+
+/// Remark 2.2: merge selected attributes into the node labels, producing a
+/// plain tree whose alphabet is e.g. "div@sidebar" for <div class=sidebar> (the separator is '@' because '.' delimits Elog path steps).
+/// Wrappers can then use ordinary label_<l> predicates on attribute values.
+tree::Tree ProjectAttributeIntoLabels(const Document& doc,
+                                      const std::string& attr);
+
+}  // namespace mdatalog::html

@@ -1,0 +1,234 @@
+#include "src/html/tokenizer.h"
+
+#include <cctype>
+
+namespace mdatalog::html {
+
+namespace {
+
+char ToLowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+std::string LowerCase(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out += ToLowerAscii(c);
+  return out;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':';
+}
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view html) : html_(html) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < html_.size()) {
+      if (html_[pos_] == '<') {
+        if (!TryTag()) {
+          // A stray '<' is literal text.
+          text_ += '<';
+          ++pos_;
+        }
+      } else {
+        text_ += html_[pos_++];
+      }
+    }
+    FlushText();
+    return std::move(tokens_);
+  }
+
+ private:
+  void FlushText() {
+    // Whitespace-only runs between tags carry no content.
+    bool all_space = true;
+    for (char c : text_) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_space = false;
+        break;
+      }
+    }
+    if (!text_.empty() && !all_space) {
+      tokens_.push_back(
+          {Token::Type::kText, DecodeEntities(text_), {}, false});
+    }
+    text_.clear();
+  }
+
+  bool TryTag() {
+    size_t save = pos_;
+    ++pos_;  // consume '<'
+    if (pos_ >= html_.size()) {
+      pos_ = save;
+      return false;
+    }
+    if (html_.compare(pos_, 3, "!--") == 0) {
+      FlushText();
+      pos_ += 3;
+      size_t end = html_.find("-->", pos_);
+      std::string body(html_.substr(pos_, end == std::string_view::npos
+                                              ? std::string_view::npos
+                                              : end - pos_));
+      pos_ = end == std::string_view::npos ? html_.size() : end + 3;
+      tokens_.push_back({Token::Type::kComment, std::move(body), {}, false});
+      return true;
+    }
+    if (html_[pos_] == '!') {  // doctype or other declaration
+      FlushText();
+      size_t end = html_.find('>', pos_);
+      std::string body(html_.substr(
+          pos_ + 1,
+          end == std::string_view::npos ? std::string_view::npos
+                                        : end - pos_ - 1));
+      pos_ = end == std::string_view::npos ? html_.size() : end + 1;
+      tokens_.push_back({Token::Type::kDoctype, std::move(body), {}, false});
+      return true;
+    }
+    bool closing = html_[pos_] == '/';
+    size_t p = pos_ + (closing ? 1 : 0);
+    if (p >= html_.size() ||
+        !std::isalpha(static_cast<unsigned char>(html_[p]))) {
+      pos_ = save;
+      return false;
+    }
+    size_t name_start = p;
+    while (p < html_.size() && IsNameChar(html_[p])) ++p;
+    std::string name = LowerCase(html_.substr(name_start, p - name_start));
+
+    Token token;
+    token.type = closing ? Token::Type::kEndTag : Token::Type::kStartTag;
+    token.data = name;
+
+    // Attributes.
+    while (p < html_.size() && html_[p] != '>') {
+      if (std::isspace(static_cast<unsigned char>(html_[p]))) {
+        ++p;
+        continue;
+      }
+      if (html_[p] == '/' && p + 1 < html_.size() && html_[p + 1] == '>') {
+        token.self_closing = true;
+        ++p;
+        continue;
+      }
+      if (!std::isalpha(static_cast<unsigned char>(html_[p]))) {
+        ++p;  // skip junk
+        continue;
+      }
+      size_t attr_start = p;
+      while (p < html_.size() && IsNameChar(html_[p])) ++p;
+      Attribute attr;
+      attr.name = LowerCase(html_.substr(attr_start, p - attr_start));
+      while (p < html_.size() &&
+             std::isspace(static_cast<unsigned char>(html_[p]))) {
+        ++p;
+      }
+      if (p < html_.size() && html_[p] == '=') {
+        ++p;
+        while (p < html_.size() &&
+               std::isspace(static_cast<unsigned char>(html_[p]))) {
+          ++p;
+        }
+        if (p < html_.size() && (html_[p] == '"' || html_[p] == '\'')) {
+          char quote = html_[p++];
+          size_t vstart = p;
+          while (p < html_.size() && html_[p] != quote) ++p;
+          attr.value = DecodeEntities(html_.substr(vstart, p - vstart));
+          if (p < html_.size()) ++p;  // closing quote
+        } else {
+          size_t vstart = p;
+          while (p < html_.size() && html_[p] != '>' &&
+                 !std::isspace(static_cast<unsigned char>(html_[p]))) {
+            ++p;
+          }
+          attr.value = DecodeEntities(html_.substr(vstart, p - vstart));
+        }
+      }
+      if (!closing) token.attrs.push_back(std::move(attr));
+    }
+    if (p < html_.size()) ++p;  // consume '>'
+    pos_ = p;
+    FlushText();
+    tokens_.push_back(token);
+
+    // Raw-text elements: swallow everything up to the matching end tag.
+    if (!closing && (name == "script" || name == "style")) {
+      std::string closer = "</" + name;
+      size_t end = html_.find(closer, pos_);
+      if (end == std::string_view::npos) {
+        pos_ = html_.size();
+      } else {
+        size_t gt = html_.find('>', end);
+        pos_ = gt == std::string_view::npos ? html_.size() : gt + 1;
+        tokens_.push_back({Token::Type::kEndTag, name, {}, false});
+      }
+    }
+    return true;
+  }
+
+  std::string_view html_;
+  size_t pos_ = 0;
+  std::string text_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size();) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 8) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (entity == "nbsp") {
+      out += ' ';
+    } else if (!entity.empty() && entity[0] == '#') {
+      int32_t code = 0;
+      bool ok = entity.size() > 1;
+      for (size_t k = 1; k < entity.size(); ++k) {
+        if (!std::isdigit(static_cast<unsigned char>(entity[k]))) {
+          ok = false;
+          break;
+        }
+        code = code * 10 + (entity[k] - '0');
+      }
+      if (!ok || code <= 0 || code > 127) {
+        out += text[i++];
+        continue;
+      }
+      out += static_cast<char>(code);
+    } else {
+      out += text[i++];
+      continue;
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::vector<Token> Tokenize(std::string_view html) {
+  return Tokenizer(html).Run();
+}
+
+}  // namespace mdatalog::html

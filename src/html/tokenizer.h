@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+/// \file tokenizer.h
+/// A small, forgiving HTML tokenizer — the front end that turns Web page
+/// bytes into the token stream consumed by the tree builder (parser.h). The
+/// paper's whole premise is that wrappers operate on *pre-parsed* document
+/// trees (Section 1); this module is that prerequisite substrate.
+///
+/// Supported: start/end tags, attributes (double-, single- and unquoted,
+/// and bare), self-closing tags, comments, doctype, character data with
+/// basic entity decoding (&amp; &lt; &gt; &quot; &apos; &nbsp; &#NN;), and
+/// raw-text elements (script, style) whose content is not tokenized.
+
+namespace mdatalog::html {
+
+struct Attribute {
+  std::string name;   ///< lowercased
+  std::string value;  ///< entity-decoded
+};
+
+struct Token {
+  enum class Type {
+    kStartTag,
+    kEndTag,
+    kText,
+    kComment,
+    kDoctype,
+  };
+  Type type;
+  std::string data;               ///< tag name (lowercased) or text payload
+  std::vector<Attribute> attrs;   ///< kStartTag only
+  bool self_closing = false;      ///< kStartTag only
+};
+
+/// Tokenizes HTML. Never fails on malformed markup (stray '<' becomes text;
+/// an unterminated tag or comment is closed at end of input).
+std::vector<Token> Tokenize(std::string_view html);
+
+/// Decodes the supported character entities in `text`.
+std::string DecodeEntities(std::string_view text);
+
+}  // namespace mdatalog::html

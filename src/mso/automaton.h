@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file automaton.h
+/// Deterministic bottom-up tree automata over the firstchild/nextsibling
+/// binary encoding (Figure 1) — the computational backbone behind the
+/// Thatcher–Wright/Doner equivalence the paper builds on (Proposition 2.1)
+/// and our realization of Theorem 4.4.
+///
+/// A symbol is a pair (label class, mark bitmask): label classes index a
+/// fixed finite alphabet, mark bits encode assignments to free MSO variables
+/// (one bit per variable). Every node of the binary encoding has an optional
+/// left child (its first child in the unranked tree) and an optional right
+/// child (its next sibling); transitions are stored for all four shapes with
+/// the convention that an absent child is state -1.
+///
+/// All construction algorithms keep automata *complete over their reachable
+/// states*: every (symbol, state/absent, state/absent) combination of
+/// discovered states has a transition, so complementation is finals-flipping
+/// and every tree has exactly one run.
+
+namespace mdatalog::mso {
+
+using BtaState = int32_t;
+inline constexpr BtaState kAbsent = -1;
+
+struct Bta {
+  int32_t num_states = 0;
+  std::vector<bool> finals;
+  int32_t num_classes = 1;
+  int32_t num_bits = 0;
+
+  /// (symbol, left state or kAbsent, right state or kAbsent) → state.
+  std::map<std::tuple<int32_t, BtaState, BtaState>, BtaState> delta;
+
+  int32_t NumSymbols() const { return num_classes << num_bits; }
+  int32_t Sym(int32_t label_class, uint32_t mask) const {
+    return static_cast<int32_t>(mask) * num_classes + label_class;
+  }
+  int32_t ClassOfSym(int32_t sym) const { return sym % num_classes; }
+  uint32_t MaskOfSym(int32_t sym) const {
+    return static_cast<uint32_t>(sym / num_classes);
+  }
+
+  BtaState Step(int32_t sym, BtaState l, BtaState r) const;
+};
+
+/// a ∧ b (product). Same classes/bits required.
+util::Result<Bta> Intersect(const Bta& a, const Bta& b, int64_t max_states);
+/// a ∨ b (product).
+util::Result<Bta> UnionOp(const Bta& a, const Bta& b, int64_t max_states);
+/// ¬a (finals flip; a must be complete over reachable states — invariant).
+Bta Complement(const Bta& a);
+/// ∃-projection of the *last* mark bit: erase the bit, determinize the
+/// resulting nondeterministic automaton by subset construction.
+util::Result<Bta> ProjectLastBit(const Bta& a, int64_t max_states);
+/// The automaton over `num_classes`/`num_bits` accepting exactly the marked
+/// trees where bit `bit` marks exactly one node (any labels, other bits
+/// free) — the singleton enforcement for first-order variables.
+Bta SingletonBit(int32_t num_classes, int32_t num_bits, int32_t bit);
+/// Reachable-state pruning followed by Moore partition refinement.
+Bta Minimize(const Bta& a);
+
+/// Maps each node to its label class under `alphabet` (error on labels
+/// outside the alphabet — Remark 2.2 finite-alphabet discipline).
+util::Result<std::vector<int32_t>> ClassOfNodes(
+    const tree::Tree& t, const std::vector<std::string>& alphabet);
+
+/// Runs a 0-bit automaton on the tree (sentence acceptance).
+util::Result<bool> BtaAcceptsTree(const Bta& a, const tree::Tree& t,
+                                  const std::vector<int32_t>& class_of);
+
+/// Unary-query evaluation for a 1-bit automaton: all nodes v such that the
+/// tree with exactly v marked is accepted. Linear two-pass algorithm
+/// (bottom-up unmarked states, top-down accepting-context sets) — the
+/// automaton-side counterpart of the Θ↑/Θ↓ program of Theorem 4.4's proof.
+util::Result<std::vector<tree::NodeId>> BtaUnaryQuery(
+    const Bta& a, const tree::Tree& t, const std::vector<int32_t>& class_of);
+
+}  // namespace mdatalog::mso

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/mso/automaton.h"
+#include "src/mso/formula.h"
+#include "src/util/result.h"
+
+/// \file compile.h
+/// MSO → tree automata, by structural induction (the classical
+/// Thatcher–Wright construction over the binary encoding):
+///
+///   atoms       → small fixed automata that also enforce the singleton
+///                 discipline of their own first-order variables,
+///   ¬           → complement (automata are complete over reachable states),
+///   ∧ / ∨       → products,
+///   ∃x (FO)     → conjoin the singleton automaton for x's mark bit, erase
+///                 the bit, determinize by subset construction,
+///   ∃X (SO)     → erase the bit, determinize,
+///   ∀           → ¬∃¬.
+///
+/// The subset construction is where the nonelementary worst case of MSO
+/// lives (Section 1, [Frick and Grohe 2002]); `max_states` turns the blowup
+/// into a clean ResourceExhausted. Minimization after each operation keeps
+/// realistic formulas small.
+///
+/// This module, combined with BtaUnaryQuery and BtaToDatalog, is this
+/// library's constructive realization of Theorem 4.4 / Corollary 4.17 — the
+/// paper's ≡ᵏ-type argument enumerates witnesses for the same automaton
+/// states (see DESIGN.md, substitutions).
+
+namespace mdatalog::mso {
+
+struct MsoCompileOptions {
+  /// The finite alphabet Σ; every label occurring in the formula or in any
+  /// tree the automaton runs on must be listed (Remark 2.2).
+  std::vector<std::string> alphabet;
+  int64_t max_states = 1 << 20;
+};
+
+/// Compiles a sentence (no free variables) to a 0-bit automaton.
+util::Result<Bta> CompileSentence(const FormulaPtr& f,
+                                  const MsoCompileOptions& options);
+
+/// Compiles a unary query φ(x) (free variables: exactly the first-order x)
+/// to a 1-bit automaton suitable for BtaUnaryQuery / BtaToDatalog.
+util::Result<Bta> CompileUnaryQuery(const FormulaPtr& f, const std::string& x,
+                                    const MsoCompileOptions& options);
+
+}  // namespace mdatalog::mso

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/ast.h"
+#include "src/mso/automaton.h"
+#include "src/util/result.h"
+
+/// \file to_datalog.h
+/// Corollary 4.17, constructively: every unary MSO query — once compiled to
+/// a 1-bit deterministic tree automaton — becomes an equivalent monadic
+/// datalog program over τ_ur.
+///
+/// The program mirrors the three-part structure of Theorem 4.4's proof:
+///
+///   up_q    — bottom-up subtree states (the Θ↑ types): one rule per
+///             unmarked transition, in the four child shapes of the binary
+///             encoding, using leaf / lastsibling∨root to detect absent
+///             children;
+///   ctx_q   — top-down accepting contexts (the Θ↓ types): seeded at the
+///             root from the final states, propagated through each unmarked
+///             transition to the first-child and next-sibling slots;
+///   query   — the combine step: x is selected iff the transition on x's
+///             *marked* symbol lands in an accepting context.
+///
+/// Output size is O(|δ|); the program is over τ_ur and evaluates with the
+/// Theorem 4.2 grounded engine in O(|P|·|dom|).
+
+namespace mdatalog::mso {
+
+/// `a` must be a 1-bit automaton (CompileUnaryQuery output); `alphabet` maps
+/// its label classes back to labels. Query predicate: "query".
+util::Result<core::Program> BtaToDatalog(const Bta& a,
+                                         const std::vector<std::string>& alphabet);
+
+}  // namespace mdatalog::mso

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/qa/ranked.h"
+#include "src/util/result.h"
+
+/// \file ranked_to_datalog.h
+/// Theorem 4.11: every ranked query automaton translates (in LOGSPACE) into
+/// an equivalent monadic datalog program over τ_rk.
+///
+/// The encoding uses predicates ⟨q0, q⟩ ("node currently carries state q;
+/// its parent carried q0 the last time it was in a configuration", with
+/// q0 = ∇ at the root), mirroring the four transition kinds plus acceptance
+/// and the selection function — rules (1)–(7) of the proof.
+///
+/// One refinement keeps the output quadratic in |A| as the paper's
+/// complexity claim requires (O(β⁴) for A_β, Example 4.21): for the up-rule
+/// family, the parent state q is restricted to states *compatible* with the
+/// children states of the δ↑ entry, i.e. some δ↓(q, a, m) assigns states
+/// d_1..d_m whose static evolution sets can reach the entry's states. The
+/// evolution sets overapproximate datalog-derivable pairs, so only rules
+/// that could never fire are dropped.
+
+namespace mdatalog::qa {
+
+/// Translates `qa` to monadic datalog over τ_rk (child1..childK, root, leaf,
+/// label_<l>). The query predicate is "query"; the predicate "accept" holds
+/// of the root iff the automaton accepts.
+util::Result<core::Program> RankedQAToDatalog(const RankedQA& qa);
+
+}  // namespace mdatalog::qa

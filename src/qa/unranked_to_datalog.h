@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/qa/unranked.h"
+#include "src/util/result.h"
+
+/// \file unranked_to_datalog.h
+/// Theorem 4.14: every SQAu translates (in LOGSPACE) into an equivalent
+/// monadic datalog program over τ_ur ∪ {child, lastchild}.
+///
+/// Structure of the encoding (following the proof):
+///  * down transitions — the uv*w marking machinery of steps (a)–(f),
+///    illustrated by Figure 2 / Example 4.15: mark the |u| leftmost and |w|
+///    rightmost children, mark the region before w, chase v-cycles through
+///    it, derive succ when the lengths line up, and emit the new
+///    ⟨q, σ⟩ state assignments from the position marks;
+///  * up transitions — simulate the L↑(q) NFAs along the siblings
+///    (left-to-right over tmp states), walk back on acceptance (bck), and
+///    assign the parent's new pair state;
+///  * stay transitions — simulate the 2DFA B with one predicate per
+///    (parent-state, B-state) pair, moves along nextsibling in both
+///    directions, and λB assignments;
+///  * root/leaf transitions, acceptance and selection as in Theorem 4.11.
+///
+/// The output signature additionally uses firstsibling (for the empty-u
+/// corner of the uv*w match) — eliminable via the TMNF pipeline, which the
+/// tests exercise.
+
+namespace mdatalog::qa {
+
+/// Translates `qa` to monadic datalog. Query predicate: "query"; "accept"
+/// holds of the root iff the automaton accepts.
+util::Result<core::Program> UnrankedQAToDatalog(const UnrankedQA& qa);
+
+}  // namespace mdatalog::qa

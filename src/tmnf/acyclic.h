@@ -1,0 +1,49 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/util/result.h"
+
+/// \file acyclic.h
+/// The acyclicity chases of Lemmas 5.4 (ranked) and 5.5/5.6 (unranked).
+///
+/// Both lemmas rewrite each rule of a monadic datalog program into an
+/// equivalent *acyclic* rule (or detect it unsatisfiable) by exploiting the
+/// bidirectional functional dependencies of the tree relations
+/// (Proposition 4.1): variables that must denote the same node are merged
+/// (the classical Chase), impossible constraint sets are dropped, and — in
+/// the unranked case — child atoms are replaced by a firstchild anchor plus
+/// nextsibling* links (the predicate nextsibling_tc), following the five-step
+/// procedure in the proof of Lemma 5.5 and illustrated by Figure 3.
+///
+/// A rule is acyclic iff its query *multigraph* (one edge per binary body
+/// atom) is a forest — two parallel atoms between the same variables count as
+/// a cycle (Section 5).
+
+namespace mdatalog::tmnf {
+
+struct ChaseResult {
+  /// False: the rule can never fire on any tree and must be dropped.
+  bool satisfiable = true;
+  /// The rewritten acyclic rule (valid only if satisfiable).
+  core::Rule rule;
+  /// Number of variable-merge steps performed (diagnostics; Figure 3 shows
+  /// the merges as variable sets).
+  int32_t merged_vars = 0;
+};
+
+/// Lemma 5.5/5.6 for one rule over τ_ur ∪ {child} (lastchild must have been
+/// expanded to child + lastsibling by the caller, per Lemma 5.6). The output
+/// rule is over τ_ur ∪ {nextsibling_tc}. `program` is mutated only to intern
+/// the nextsibling_tc predicate.
+util::Result<ChaseResult> MakeRuleAcyclicUnranked(core::Program* program,
+                                                  const core::Rule& rule);
+
+/// Lemma 5.4 for one rule over τ_rk (child1..childK).
+util::Result<ChaseResult> MakeRuleAcyclicRanked(core::Program* program,
+                                                const core::Rule& rule);
+
+/// Forest check on the query multigraph (self-loops and parallel edges are
+/// cycles).
+bool IsAcyclicRule(const core::Rule& rule);
+
+}  // namespace mdatalog::tmnf

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/util/status.h"
+
+/// \file normal_form.h
+/// TMNF — Tree-Marking Normal Form (Definition 5.1). A monadic datalog
+/// program over τ_rk (τ_ur) is in TMNF if every rule has one of the forms
+///
+///   (1)  p(x) ← p0(x).
+///   (2)  p(x) ← p0(x0), B(x0, x).     B = R or R^-1, R binary in the schema
+///   (3)  p(x) ← p0(x), p1(x).
+///
+/// where p0, p1 are intensional or unary predicates of the schema. Form (2)
+/// with B = R^-1 is written as the atom R(x, x0).
+
+namespace mdatalog::tmnf {
+
+struct TmnfCheckOptions {
+  /// Accept child1..child<K> as the binary schema (τ_rk) instead of
+  /// firstchild/nextsibling (τ_ur).
+  bool ranked = false;
+};
+
+/// OK iff `program` is in TMNF; otherwise InvalidArgument naming the first
+/// offending rule.
+util::Status CheckTmnf(const core::Program& program,
+                       const TmnfCheckOptions& options = {});
+
+bool IsTmnf(const core::Program& program, const TmnfCheckOptions& options = {});
+
+}  // namespace mdatalog::tmnf

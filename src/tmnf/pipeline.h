@@ -1,0 +1,48 @@
+#pragma once
+
+#include "src/core/ast.h"
+#include "src/util/result.h"
+
+/// \file pipeline.h
+/// Theorem 5.2: every monadic datalog program over τ_ur ∪ {child, lastchild}
+/// (resp. τ_rk) translates in linear time into an equivalent TMNF program
+/// over τ_ur (resp. τ_rk).
+///
+/// The pipeline follows the paper's proof:
+///  1. lastchild(x,y) is expanded to child(x,y) ∧ lastsibling(y)
+///     (Lemma 5.6); firstsibling(x) — an Elog⁻ condition predicate outside
+///     τ_ur — is replaced by an intensional predicate defined by the TMNF
+///     rule __fsib(x) ← firstchild(x0, x).
+///  2. every rule is made acyclic by the chase of Lemma 5.5 (Lemma 5.4 in
+///     the ranked case); unsatisfiable rules are dropped.
+///  3. disconnected rules are connected through the total caterpillar
+///     (≺ | ǫ | ≺^-1) over the document order ≺ of Example 2.5.
+///  4. each acyclic connected rule is decomposed into TMNF rules by walking
+///     its query tree from the head variable (Lemmas 5.7/5.8); binary
+///     caterpillar atoms (nextsibling* from the chase, the connector from
+///     step 3) are compiled away with the NFA construction of Lemma 5.9.
+///
+/// Generated predicate names start with "__"; user programs must not use
+/// that prefix.
+
+namespace mdatalog::tmnf {
+
+struct TmnfStats {
+  int32_t rules_dropped_unsat = 0;
+  int32_t vars_merged = 0;
+  int32_t input_rules = 0;
+  int32_t output_rules = 0;
+};
+
+/// Unranked: input over τ_ur ∪ {child, lastchild, firstsibling}; output TMNF
+/// over τ_ur. The query predicate carries over; every original intensional
+/// predicate keeps its name and meaning.
+util::Result<core::Program> ToTmnf(const core::Program& input,
+                                   TmnfStats* stats = nullptr);
+
+/// Ranked: input over τ_rk (child1..childK, root, leaf, lastsibling,
+/// label_<l>); output TMNF over τ_rk.
+util::Result<core::Program> ToTmnfRanked(const core::Program& input,
+                                         TmnfStats* stats = nullptr);
+
+}  // namespace mdatalog::tmnf

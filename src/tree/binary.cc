@@ -1,0 +1,58 @@
+#include "src/tree/binary.h"
+
+#include <functional>
+
+namespace mdatalog::tree {
+
+BinaryTree EncodeFirstChildNextSibling(const Tree& t) {
+  BinaryTree b;
+  b.nodes.resize(t.size());
+  b.root = t.root();
+  for (NodeId n = 0; n < t.size(); ++n) {
+    b.nodes[n].label = t.label_name(n);
+    b.nodes[n].left = t.first_child(n);
+    b.nodes[n].right = t.next_sibling(n);
+  }
+  return b;
+}
+
+util::Result<Tree> DecodeFirstChildNextSibling(const BinaryTree& b) {
+  if (b.root == kNoNode || b.nodes.empty()) {
+    return util::Status::InvalidArgument("empty binary tree");
+  }
+  if (b.nodes[b.root].right != kNoNode) {
+    return util::Status::InvalidArgument(
+        "root of a firstchild/nextsibling encoding must have no right child");
+  }
+  TreeBuilder builder;
+  // Rebuild in document order: left child = first child, then follow the
+  // right-spine of that child for its siblings.
+  std::function<void(NodeId, NodeId)> attach_children =
+      [&](NodeId src, NodeId built_parent) {
+        for (NodeId c = b.nodes[src].left; c != kNoNode;
+             c = b.nodes[c].right) {
+          NodeId built = builder.Child(built_parent, b.nodes[c].label);
+          attach_children(c, built);
+        }
+      };
+  NodeId built_root = builder.Root(b.nodes[b.root].label);
+  attach_children(b.root, built_root);
+  return builder.Build();
+}
+
+std::string ToDebugString(const BinaryTree& b) {
+  std::string out;
+  for (size_t n = 0; n < b.nodes.size(); ++n) {
+    if (b.nodes[n].left != kNoNode) {
+      out += "n" + std::to_string(n) + " -fc-> n" +
+             std::to_string(b.nodes[n].left) + "\n";
+    }
+    if (b.nodes[n].right != kNoNode) {
+      out += "n" + std::to_string(n) + " -ns-> n" +
+             std::to_string(b.nodes[n].right) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mdatalog::tree

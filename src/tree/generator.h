@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/tree/tree.h"
+#include "src/util/rng.h"
+
+/// \file generator.h
+/// Deterministic tree generators used by tests, property suites and the
+/// benchmark harness. All generators build in document order.
+
+namespace mdatalog::tree {
+
+/// Uniform-ish random tree with `num_nodes` nodes; each new node attaches to a
+/// random existing node, with a bias towards recent nodes (deeper trees) when
+/// `depth_bias` is true. Labels drawn uniformly from `labels`.
+Tree RandomTree(util::Rng& rng, int32_t num_nodes,
+                const std::vector<std::string>& labels,
+                bool depth_bias = false);
+
+/// Random tree whose arity never exceeds `max_arity` (for ranked-tree tests).
+Tree RandomBoundedArityTree(util::Rng& rng, int32_t num_nodes,
+                            const std::vector<std::string>& labels,
+                            int32_t max_arity);
+
+/// Complete binary tree of the given depth (depth 0 = single node); every
+/// node labeled `label`. Size = 2^(depth+1) − 1. Workload of Example 4.21.
+Tree CompleteBinaryTree(int32_t depth, const std::string& label);
+
+/// Random *full* binary tree (every node has 0 or 2 children) with
+/// `num_internal` internal nodes, i.e. 2·num_internal + 1 nodes. The shape
+/// required by the binary query automata of Examples 4.9/4.21.
+Tree RandomFullBinaryTree(util::Rng& rng, int32_t num_internal,
+                          const std::vector<std::string>& labels);
+
+/// Unary chain of n nodes.
+Tree ChainTree(int32_t num_nodes, const std::string& label);
+
+/// Root labeled `root_label` with children labeled per `child_labels`
+/// (workload of Theorem 6.6: children words a^n b^m).
+Tree ChildrenWord(const std::string& root_label,
+                  const std::vector<std::string>& child_labels);
+
+/// The 4-node tree of Example 3.2: a root with three children, all labeled a.
+Tree PaperExample32Tree();
+
+/// The 6-node tree of Figure 1 / Example 2.5:
+///   n1(a) with children n2, n3, n6; n3 with children n4, n5 (all labeled a).
+Tree PaperFigure1Tree();
+
+/// The 3-node binary tree of Example 4.9 (root with two leaf children, all a).
+Tree PaperExample49Tree();
+
+}  // namespace mdatalog::tree

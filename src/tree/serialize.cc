@@ -1,0 +1,46 @@
+#include "src/tree/serialize.h"
+
+#include <functional>
+
+namespace mdatalog::tree {
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToXml(const Tree& t, int32_t indent) {
+  std::string out;
+  std::function<void(NodeId, int32_t)> emit = [&](NodeId n, int32_t depth) {
+    std::string pad =
+        indent < 0 ? "" : std::string(static_cast<size_t>(depth * indent), ' ');
+    const std::string& tag = t.label_name(n);
+    out += pad + "<" + tag + ">";
+    bool multiline = false;
+    if (t.HasText(n)) out += XmlEscape(t.text(n));
+    if (!t.IsLeaf(n)) {
+      multiline = indent >= 0;
+      if (multiline) out += "\n";
+      for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+        emit(c, depth + 1);
+      }
+      if (multiline) out += pad;
+    }
+    out += "</" + tag + ">";
+    if (indent >= 0) out += "\n";
+  };
+  emit(t.root(), 0);
+  return out;
+}
+
+}  // namespace mdatalog::tree

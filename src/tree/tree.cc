@@ -1,0 +1,183 @@
+#include "src/tree/tree.h"
+
+#include <functional>
+
+namespace mdatalog::tree {
+
+const std::string Tree::kEmptyText;
+
+std::vector<NodeId> Tree::Children(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId c = at(n).first_child; c != kNoNode; c = at(c).next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+int32_t Tree::NumChildren(NodeId n) const {
+  int32_t count = 0;
+  for (NodeId c = at(n).first_child; c != kNoNode; c = at(c).next_sibling) {
+    ++count;
+  }
+  return count;
+}
+
+NodeId Tree::ChildK(NodeId n, int32_t k) const {
+  MD_DCHECK(k >= 1);
+  NodeId c = at(n).first_child;
+  for (int32_t i = 1; i < k && c != kNoNode; ++i) c = at(c).next_sibling;
+  return c;
+}
+
+int32_t Tree::Depth(NodeId n) const {
+  int32_t d = 0;
+  for (NodeId p = at(n).parent; p != kNoNode; p = at(p).parent) ++d;
+  return d;
+}
+
+bool Tree::IsAncestor(NodeId anc, NodeId n) const {
+  for (NodeId p = at(n).parent; p != kNoNode; p = at(p).parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Tree::Preorder() const {
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    // Push children right-to-left so the leftmost is visited first.
+    std::vector<NodeId> kids = Children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return order;
+}
+
+std::vector<int32_t> Tree::PreorderRanks() const {
+  std::vector<int32_t> rank(nodes_.size(), 0);
+  std::vector<NodeId> order = Preorder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<int32_t>(i);
+  }
+  return rank;
+}
+
+int32_t Tree::MaxArity() const {
+  int32_t best = 0;
+  for (NodeId n = 0; n < size(); ++n) {
+    best = std::max(best, NumChildren(n));
+  }
+  return best;
+}
+
+int32_t Tree::Height() const {
+  int32_t best = 0;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (IsLeaf(n)) best = std::max(best, Depth(n));
+  }
+  return best;
+}
+
+const std::string& Tree::text(NodeId n) const {
+  if (static_cast<size_t>(n) < texts_.size()) return texts_[n];
+  return kEmptyText;
+}
+
+std::string Tree::SubtreeText(NodeId n) const {
+  std::string out;
+  std::function<void(NodeId)> walk = [&](NodeId m) {
+    out += text(m);
+    for (NodeId c = first_child(m); c != kNoNode; c = next_sibling(c)) walk(c);
+  };
+  walk(n);
+  return out;
+}
+
+NodeId TreeBuilder::Root(std::string_view label) {
+  MD_CHECK(tree_.nodes_.empty());
+  Node node;
+  node.label = tree_.labels_.Intern(label);
+  tree_.nodes_.push_back(node);
+  return 0;
+}
+
+NodeId TreeBuilder::Child(NodeId parent, std::string_view label) {
+  MD_CHECK(!tree_.nodes_.empty());
+  MD_CHECK(parent >= 0 &&
+           static_cast<size_t>(parent) < tree_.nodes_.size());
+  Node node;
+  node.label = tree_.labels_.Intern(label);
+  node.parent = parent;
+  NodeId id = static_cast<NodeId>(tree_.nodes_.size());
+  Node& par = tree_.nodes_[parent];
+  if (par.last_child == kNoNode) {
+    par.first_child = id;
+  } else {
+    tree_.nodes_[par.last_child].next_sibling = id;
+    node.prev_sibling = par.last_child;
+  }
+  par.last_child = id;
+  tree_.nodes_.push_back(node);
+  return id;
+}
+
+void TreeBuilder::SetText(NodeId n, std::string_view text) {
+  MD_CHECK(n >= 0 && static_cast<size_t>(n) < tree_.nodes_.size());
+  if (tree_.texts_.size() <= static_cast<size_t>(n)) {
+    tree_.texts_.resize(n + 1);
+  }
+  tree_.texts_[n] = std::string(text);
+}
+
+Tree TreeBuilder::Build() {
+  MD_CHECK(!tree_.nodes_.empty());
+  return std::move(tree_);
+}
+
+namespace {
+
+bool SubtreesEqual(const Tree& a, NodeId na, const Tree& b, NodeId nb) {
+  if (a.label_name(na) != b.label_name(nb)) return false;
+  if (a.text(na) != b.text(nb)) return false;
+  NodeId ca = a.first_child(na);
+  NodeId cb = b.first_child(nb);
+  while (ca != kNoNode && cb != kNoNode) {
+    if (!SubtreesEqual(a, ca, b, cb)) return false;
+    ca = a.next_sibling(ca);
+    cb = b.next_sibling(cb);
+  }
+  return ca == kNoNode && cb == kNoNode;
+}
+
+void DebugRender(const Tree& t, NodeId n, std::string* out) {
+  *out += t.label_name(n);
+  if (!t.IsLeaf(n)) {
+    *out += '(';
+    bool first = true;
+    for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+      if (!first) *out += ',';
+      first = false;
+      DebugRender(t, c, out);
+    }
+    *out += ')';
+  }
+}
+
+}  // namespace
+
+bool TreesEqual(const Tree& a, const Tree& b) {
+  if (a.size() != b.size()) return false;
+  return SubtreesEqual(a, a.root(), b, b.root());
+}
+
+std::string ToDebugString(const Tree& t) {
+  std::string out;
+  DebugRender(t, t.root(), &out);
+  return out;
+}
+
+}  // namespace mdatalog::tree

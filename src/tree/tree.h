@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/interner.h"
+
+/// \file tree.h
+/// Finite ordered labeled trees — the data model of the paper (Section 2).
+///
+/// A Tree is an arena of nodes. Every node has a label from a finite alphabet
+/// Σ (interned per tree), an ordered list of children, and an optional text
+/// payload (used by the HTML front end for character data, cf. Remark 2.2).
+///
+/// The accessors expose exactly the relations of the unranked tree schema
+///   τ_ur = ⟨dom, root, leaf, (label_a), firstchild, nextsibling, lastsibling⟩
+/// plus the derived relations child, lastchild and firstsibling used in
+/// Section 5/6. The pair (firstchild, nextsibling) *is* the binary encoding of
+/// Figure 1; see binary.h for the explicit encode/decode round trip.
+
+namespace mdatalog::tree {
+
+/// Node handle: index into the tree's node arena. Stable for the lifetime of
+/// the tree.
+using NodeId = int32_t;
+/// Interned label (alphabet symbol).
+using LabelId = util::SymbolId;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// One node record. Plain data; all navigation is by NodeId.
+struct Node {
+  LabelId label = util::kInvalidSymbol;
+  NodeId parent = kNoNode;
+  NodeId first_child = kNoNode;
+  NodeId last_child = kNoNode;
+  NodeId prev_sibling = kNoNode;
+  NodeId next_sibling = kNoNode;
+};
+
+/// An immutable ordered labeled tree with at least one node (the paper's
+/// trees are nonempty). Build with TreeBuilder.
+class Tree {
+ public:
+  /// Number of nodes, |dom|.
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  /// The unique root node.
+  NodeId root() const { return 0; }
+
+  // --- τ_ur relations ------------------------------------------------------
+
+  bool IsRoot(NodeId n) const { return n == 0; }
+  bool IsLeaf(NodeId n) const { return at(n).first_child == kNoNode; }
+  /// lastsibling: n is the rightmost child of its parent. The root is *not*
+  /// a last sibling (it has no parent) — paper, Section 2.
+  bool IsLastSibling(NodeId n) const {
+    return n != 0 && at(n).next_sibling == kNoNode;
+  }
+  /// firstsibling: symmetric to lastsibling (used by Elog⁻, Definition 6.2).
+  bool IsFirstSibling(NodeId n) const {
+    return n != 0 && at(n).prev_sibling == kNoNode;
+  }
+
+  LabelId label(NodeId n) const { return at(n).label; }
+  const std::string& label_name(NodeId n) const {
+    return labels_.Name(at(n).label);
+  }
+  bool HasLabel(NodeId n, std::string_view name) const {
+    return labels_.Find(name) == at(n).label;
+  }
+
+  NodeId parent(NodeId n) const { return at(n).parent; }
+  NodeId first_child(NodeId n) const { return at(n).first_child; }
+  NodeId last_child(NodeId n) const { return at(n).last_child; }
+  NodeId next_sibling(NodeId n) const { return at(n).next_sibling; }
+  NodeId prev_sibling(NodeId n) const { return at(n).prev_sibling; }
+
+  // --- derived navigation --------------------------------------------------
+
+  /// Children of n in sibling order. O(#children).
+  std::vector<NodeId> Children(NodeId n) const;
+  int32_t NumChildren(NodeId n) const;
+  /// k-th child (1-based, as in the paper's child_k), or kNoNode.
+  NodeId ChildK(NodeId n, int32_t k) const;
+  /// Depth of n (root has depth 0).
+  int32_t Depth(NodeId n) const;
+  /// True iff `anc` is a proper ancestor of `n`.
+  bool IsAncestor(NodeId anc, NodeId n) const;
+
+  /// All nodes in document order (preorder, Example 2.5). O(size).
+  std::vector<NodeId> Preorder() const;
+  /// rank[n] = position of node n in document order.
+  std::vector<int32_t> PreorderRanks() const;
+  /// Maximum number of children over all nodes.
+  int32_t MaxArity() const;
+  /// Height (leaves-only tree has height 0).
+  int32_t Height() const;
+
+  // --- payload / alphabet --------------------------------------------------
+
+  /// Text payload of n ("" unless set; used for HTML character data).
+  const std::string& text(NodeId n) const;
+  bool HasText(NodeId n) const {
+    return static_cast<size_t>(n) < texts_.size() && !texts_[n].empty();
+  }
+
+  const util::Interner& labels() const { return labels_; }
+  /// Label id for `name` in this tree's alphabet, or util::kInvalidSymbol.
+  LabelId FindLabel(std::string_view name) const { return labels_.Find(name); }
+  /// Concatenated text of n's subtree in document order.
+  std::string SubtreeText(NodeId n) const;
+
+ private:
+  friend class TreeBuilder;
+
+  const Node& at(NodeId n) const {
+    MD_DCHECK(n >= 0 && static_cast<size_t>(n) < nodes_.size());
+    return nodes_[n];
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> texts_;  // may be shorter than nodes_ (lazy)
+  util::Interner labels_;
+  static const std::string kEmptyText;
+};
+
+/// Incremental construction of a Tree. Nodes are created root-first; children
+/// are appended in left-to-right order. NodeIds are assigned in creation
+/// order, so building in document order (as all parsers and generators here
+/// do) makes NodeId order coincide with document order — but no code relies
+/// on that; use Tree::PreorderRanks for order-sensitive logic.
+class TreeBuilder {
+ public:
+  /// Creates the root. Must be called exactly once, first.
+  NodeId Root(std::string_view label);
+  /// Appends a new rightmost child under `parent`.
+  NodeId Child(NodeId parent, std::string_view label);
+  /// Sets the text payload of a node.
+  void SetText(NodeId n, std::string_view text);
+
+  int32_t size() const { return static_cast<int32_t>(tree_.nodes_.size()); }
+  bool has_root() const { return !tree_.nodes_.empty(); }
+
+  /// Finalizes the tree. The builder must not be reused afterwards.
+  Tree Build();
+
+ private:
+  Tree tree_;
+};
+
+/// Structural + label + text equality (labels compared by name, so trees with
+/// different interners compare correctly).
+bool TreesEqual(const Tree& a, const Tree& b);
+
+/// One-line debug rendering, e.g. "a(b,c(d))".
+std::string ToDebugString(const Tree& t);
+
+}  // namespace mdatalog::tree

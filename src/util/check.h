@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Internal invariant checks. MD_CHECK is always on (cheap, guards data
+/// structure invariants whose violation would corrupt results); MD_DCHECK
+/// compiles out in release builds.
+
+#define MD_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MD_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define MD_DCHECK(cond) MD_CHECK(cond)
+#endif

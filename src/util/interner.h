@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/check.h"
+
+/// \file interner.h
+/// String interning. Labels (tree alphabet Σ) and predicate names are interned
+/// once and handled as dense int32 ids everywhere else, which keeps the hot
+/// evaluation loops free of string comparisons.
+
+namespace mdatalog::util {
+
+/// Dense id assigned by an Interner. Ids start at 0 and are stable for the
+/// lifetime of the Interner.
+using SymbolId = int32_t;
+
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+/// Bidirectional string <-> dense id map. Not thread safe (the library is
+/// single-threaded by design; evaluation state is per-call).
+class Interner {
+ public:
+  /// Returns the id for `s`, interning it on first sight.
+  SymbolId Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s`, or kInvalidSymbol if never interned.
+  SymbolId Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// Returns the string for an id. Id must be valid.
+  const std::string& Name(SymbolId id) const {
+    MD_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size());
+    return strings_[id];
+  }
+
+  int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace mdatalog::util

@@ -1,0 +1,13 @@
+#include "src/util/result.h"
+
+#include <cstdio>
+
+namespace mdatalog::util::internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace mdatalog::util::internal

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+/// \file result.h
+/// Result<T>: a value-or-Status, the library's return type for fallible
+/// operations that produce a value.
+
+namespace mdatalog::util {
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result aborts the process (library code must always check ok() first;
+/// tests use ASSERT_OK-style helpers).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common, successful path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) internal::DieBadResultAccess(status_);
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) internal::DieBadResultAccess(status_);
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) internal::DieBadResultAccess(status_);
+    return std::move(*value_);
+  }
+
+  /// Shorthand used pervasively: `auto tree = ParseHtml(src).ValueOrDie();`
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+}  // namespace mdatalog::util
+
+/// Propagates the error of a Result expression, else binds its value.
+#define MD_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto MD_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!MD_CONCAT_(_res_, __LINE__).ok())          \
+    return MD_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(MD_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define MD_CONCAT_IMPL_(a, b) a##b
+#define MD_CONCAT_(a, b) MD_CONCAT_IMPL_(a, b)

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Error handling for mdatalog. The library does not throw exceptions; every
+/// fallible public API returns util::Status or util::Result<T> (see result.h),
+/// following the Arrow/RocksDB idiom.
+
+namespace mdatalog::util {
+
+/// Coarse error categories. Kept deliberately small; the human-readable message
+/// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed (bad syntax, bad ids)
+  kNotFound,          ///< lookup failed (unknown predicate, label, node)
+  kFailedPrecondition,///< object not in the state required by the operation
+  kUnimplemented,     ///< feature intentionally out of scope
+  kInternal,          ///< invariant violation inside the library (a bug)
+  kResourceExhausted, ///< configured limit exceeded (step budget, state budget)
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace mdatalog::util
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MD_RETURN_NOT_OK(expr)                       \
+  do {                                               \
+    ::mdatalog::util::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                       \
+  } while (0)

@@ -1,0 +1,72 @@
+#include "src/wrapper/wrapper.h"
+
+#include <functional>
+
+#include "src/html/parser.h"
+#include "src/tree/serialize.h"
+#include "src/util/check.h"
+
+namespace mdatalog::wrapper {
+
+using tree::kNoNode;
+using tree::NodeId;
+using tree::Tree;
+
+util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
+  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
+                      elog::EvaluateElog(wrapper.program, t));
+  // Patterns per node, in extraction-pattern order.
+  std::vector<std::vector<int32_t>> patterns_of(t.size());
+  for (size_t pi = 0; pi < wrapper.extraction_patterns.size(); ++pi) {
+    for (NodeId n : result.Of(wrapper.extraction_patterns[pi])) {
+      patterns_of[n].push_back(static_cast<int32_t>(pi));
+    }
+  }
+
+  // marked_below[n]: some proper descendant of n is selected. An output node
+  // is a leaf iff it is the innermost pattern on its input node and nothing
+  // below is selected; leaves carry the input subtree's text.
+  std::vector<bool> marked_below(t.size(), false);
+  std::function<bool(NodeId)> scan = [&](NodeId n) {
+    bool below = false;
+    for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+      below |= scan(c);
+    }
+    marked_below[n] = below;
+    return below || !patterns_of[n].empty();
+  };
+  scan(t.root());
+
+  tree::TreeBuilder builder;
+  NodeId out_root = builder.Root("result");
+  std::vector<NodeId> parent_stack = {out_root};
+  std::function<void(NodeId)> walk = [&](NodeId n) {
+    size_t pushed = 0;
+    for (size_t i = 0; i < patterns_of[n].size(); ++i) {
+      int32_t pi = patterns_of[n][i];
+      NodeId built = builder.Child(parent_stack.back(),
+                                   wrapper.extraction_patterns[pi]);
+      bool innermost = (i + 1 == patterns_of[n].size());
+      if (innermost && !marked_below[n]) {
+        builder.SetText(built, t.SubtreeText(n));
+      }
+      parent_stack.push_back(built);
+      ++pushed;
+    }
+    for (NodeId c = t.first_child(n); c != kNoNode; c = t.next_sibling(c)) {
+      walk(c);
+    }
+    for (size_t i = 0; i < pushed; ++i) parent_stack.pop_back();
+  };
+  walk(t.root());
+  return builder.Build();
+}
+
+util::Result<std::string> WrapHtmlToXml(const Wrapper& wrapper,
+                                        std::string_view html) {
+  MD_ASSIGN_OR_RETURN(html::Document doc, html::ParseHtml(html));
+  MD_ASSIGN_OR_RETURN(Tree out, WrapTree(wrapper, doc.tree()));
+  return tree::ToXml(out);
+}
+
+}  // namespace mdatalog::wrapper

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/elog/ast.h"
+#include "src/elog/eval.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file wrapper.h
+/// The wrapper layer (Section 6 intro): a wrapper is a set of information
+/// extraction functions — unary queries naming tree nodes — and the output
+/// of wrapping is a new tree built from the selected nodes: re-labeled by
+/// their pattern, connected through the (transitive closure of the) input
+/// edge relation, document order preserved, unselected nodes omitted.
+
+namespace mdatalog::wrapper {
+
+/// A wrapper: an Elog program plus the subset of patterns that constitute
+/// the extraction functions (in output order). Patterns not listed are
+/// auxiliary.
+struct Wrapper {
+  elog::ElogProgram program;
+  std::vector<std::string> extraction_patterns;
+};
+
+/// Runs the wrapper and builds the output tree: a synthetic root "result"
+/// whose descendants are the selected nodes, parented at their nearest
+/// selected proper ancestor (or the root), labeled by their pattern name.
+/// A node matched by several extraction patterns appears once per pattern
+/// (in pattern order). Nodes selected by no pattern vanish. The text payload
+/// of an output leaf is the full subtree text of its input node (what a user
+/// would want of, e.g., a price cell).
+util::Result<tree::Tree> WrapTree(const Wrapper& wrapper, const tree::Tree& t);
+
+/// Convenience: parse HTML, wrap, serialize the result as XML.
+util::Result<std::string> WrapHtmlToXml(const Wrapper& wrapper,
+                                        std::string_view html);
+
+}  // namespace mdatalog::wrapper
