@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the core evaluation benchmark suite and writes BENCH_eval.json at the
+# repo root (google-benchmark's --benchmark_format=json), so the perf
+# trajectory is tracked across PRs.
+#
+# Usage: bench/run_benches.sh [build_dir] [benchmark_filter]
+#   build_dir         defaults to ./build (configured+built already, or this
+#                     script configures and builds it)
+#   benchmark_filter  defaults to all benchmarks in bench_eval_linear
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+FILTER="${2:-.}"
+
+# Configure if needed, and always build: a stale binary would silently
+# record pre-change numbers into BENCH_eval.json.
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${BUILD_DIR}" --target bench_eval_linear -j"$(nproc)"
+
+"${BUILD_DIR}/bench_eval_linear" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_eval.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_eval.json"

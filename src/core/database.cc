@@ -11,9 +11,8 @@ const std::vector<int32_t> Relation::kEmpty;
 void Relation::AddUnary(int32_t a) {
   MD_DCHECK(arity_ == 1);
   MD_DCHECK(a >= 0 && a < domain_size_);
-  if (unary_member_.empty()) unary_member_.resize(domain_size_, false);
-  if (unary_member_[a]) return;
-  unary_member_[a] = true;
+  if (unary_set_.domain_size() != domain_size_) unary_set_.Reset(domain_size_);
+  if (!unary_set_.Insert(a)) return;
   unary_.push_back(a);
 }
 
@@ -23,21 +22,27 @@ void Relation::AddBinary(int32_t a, int32_t b) {
   if (fwd_.empty()) {
     fwd_.resize(domain_size_);
     bwd_.resize(domain_size_);
+    fwd_fn_.assign(domain_size_, -1);
+    bwd_fn_.assign(domain_size_, -1);
   }
   pairs_.emplace_back(a, b);
   fwd_[a].push_back(b);
   bwd_[b].push_back(a);
+  if (fwd_fn_[a] != -1 && fwd_fn_[a] != b) fwd_functional_ = false;
+  fwd_fn_[a] = b;
+  if (bwd_fn_[b] != -1 && bwd_fn_[b] != a) bwd_functional_ = false;
+  bwd_fn_[b] = a;
 }
 
 bool Relation::ContainsUnary(int32_t a) const {
   MD_DCHECK(arity_ == 1);
-  return !unary_member_.empty() && a >= 0 && a < domain_size_ &&
-         unary_member_[a];
+  return unary_set_.Contains(a);
 }
 
 bool Relation::ContainsBinary(int32_t a, int32_t b) const {
   MD_DCHECK(arity_ == 2);
   if (fwd_.empty() || a < 0 || a >= domain_size_) return false;
+  if (fwd_functional_) return b >= 0 && fwd_fn_[a] == b;
   const std::vector<int32_t>& succ = fwd_[a];
   return std::find(succ.begin(), succ.end(), b) != succ.end();
 }

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/core/nodeset.h"
 #include "src/tree/tree.h"
 #include "src/util/result.h"
 
@@ -37,6 +39,9 @@ class Relation {
 
   /// All members of a unary relation.
   const std::vector<int32_t>& unary_tuples() const { return unary_; }
+  /// Membership bitset of a unary relation (word-level access for the
+  /// engine's set-plan fast path). Domain-sized once any member was added.
+  const NodeSet& unary_set() const { return unary_set_; }
   /// All pairs of a binary relation.
   const std::vector<std::pair<int32_t, int32_t>>& binary_tuples() const {
     return pairs_;
@@ -45,6 +50,23 @@ class Relation {
   const std::vector<int32_t>& Forward(int32_t a) const;
   /// Predecessors of `b` (pairs (a, b)).
   const std::vector<int32_t>& Backward(int32_t b) const;
+
+  /// True iff every element has at most one successor (predecessor). The
+  /// binary tree predicates firstchild / nextsibling / child_k are functional
+  /// in both directions (Proposition 4.1); the compiled engine exploits this
+  /// with O(1) array probes instead of adjacency-list walks.
+  bool forward_functional() const { return fwd_functional_; }
+  bool backward_functional() const { return bwd_functional_; }
+  /// The unique successor of `a`, or -1. Requires forward_functional().
+  int32_t ForwardOne(int32_t a) const {
+    MD_DCHECK(fwd_functional_);
+    return (a < 0 || a >= domain_size_ || fwd_fn_.empty()) ? -1 : fwd_fn_[a];
+  }
+  /// The unique predecessor of `b`, or -1. Requires backward_functional().
+  int32_t BackwardOne(int32_t b) const {
+    MD_DCHECK(bwd_functional_);
+    return (b < 0 || b >= domain_size_ || bwd_fn_.empty()) ? -1 : bwd_fn_[b];
+  }
 
   int64_t size() const {
     if (arity_ == 0) return nullary_true_ ? 1 : 0;
@@ -58,12 +80,26 @@ class Relation {
   bool nullary_true_ = false;
   // unary
   std::vector<int32_t> unary_;
-  std::vector<bool> unary_member_;
+  NodeSet unary_set_;
   // binary
   std::vector<std::pair<int32_t, int32_t>> pairs_;
   std::vector<std::vector<int32_t>> fwd_;
   std::vector<std::vector<int32_t>> bwd_;
+  // functional fast path: y = fwd_fn_[x] / x = bwd_fn_[y], -1 = no image;
+  // valid only while the corresponding *_functional_ flag holds.
+  std::vector<int32_t> fwd_fn_;
+  std::vector<int32_t> bwd_fn_;
+  bool fwd_functional_ = true;
+  bool bwd_functional_ = true;
   static const std::vector<int32_t> kEmpty;
+};
+
+/// Hash for the (name, arity) relation keys of the databases below.
+struct RelKeyHash {
+  size_t operator()(const std::pair<std::string, int32_t>& k) const {
+    return std::hash<std::string>{}(k.first) * 31 +
+           static_cast<size_t>(k.second);
+  }
 };
 
 /// Where extensional facts come from. Implementations return nullptr for
@@ -92,7 +128,8 @@ class ExplicitDatabase : public EdbSource {
  private:
   Relation* GetOrCreate(const std::string& name, int32_t arity);
   int32_t domain_size_;
-  std::map<std::pair<std::string, int32_t>, Relation> rels_;
+  std::unordered_map<std::pair<std::string, int32_t>, Relation, RelKeyHash>
+      rels_;
 };
 
 /// The relational view of a tree. Serves, lazily materialized:
@@ -109,6 +146,8 @@ class ExplicitDatabase : public EdbSource {
 class TreeDatabase : public EdbSource {
  public:
   explicit TreeDatabase(const tree::Tree& t) : tree_(t) {}
+  // The database only references the tree; binding a temporary would dangle.
+  explicit TreeDatabase(tree::Tree&&) = delete;
 
   const Relation* Get(const std::string& name, int32_t arity) const override;
   int32_t DomainSize() const override { return tree_.size(); }
@@ -122,7 +161,9 @@ class TreeDatabase : public EdbSource {
   const Relation* Materialize(const std::string& name, int32_t arity) const;
 
   const tree::Tree& tree_;
-  mutable std::map<std::pair<std::string, int32_t>, Relation> cache_;
+  mutable std::unordered_map<std::pair<std::string, int32_t>, Relation,
+                             RelKeyHash>
+      cache_;
 };
 
 /// Name of the label predicate for label `l` ("label_" + l).

@@ -1,41 +1,41 @@
 #include "src/core/eval.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "src/core/compiled.h"
 #include "src/core/validate.h"
 #include "src/util/check.h"
 
 namespace mdatalog::core {
 
 bool EvalResult::NullaryTrue(PredId p) const {
-  auto it = idb_.find(p);
-  return it != idb_.end() && it->second.nullary_true();
+  const PredFacts* f = FactsOf(p);
+  return f != nullptr && f->nullary_true;
 }
 
 bool EvalResult::ContainsUnary(PredId p, int32_t a) const {
-  auto it = idb_.find(p);
-  return it != idb_.end() && it->second.ContainsUnary(a);
+  const PredFacts* f = FactsOf(p);
+  return f != nullptr && f->arity == 1 && f->unary.Contains(a);
 }
 
 bool EvalResult::ContainsBinary(PredId p, int32_t a, int32_t b) const {
-  auto it = idb_.find(p);
-  return it != idb_.end() && it->second.ContainsBinary(a, b);
+  const PredFacts* f = FactsOf(p);
+  return f != nullptr && f->arity == 2 &&
+         std::binary_search(f->pairs.begin(), f->pairs.end(),
+                            std::make_pair(a, b));
 }
 
 std::vector<int32_t> EvalResult::Unary(PredId p) const {
-  auto it = idb_.find(p);
-  if (it == idb_.end()) return {};
-  std::vector<int32_t> out = it->second.unary_tuples();
-  std::sort(out.begin(), out.end());
-  return out;
+  const PredFacts* f = FactsOf(p);
+  if (f == nullptr || f->arity != 1) return {};
+  return f->unary.ToVector();
 }
 
 std::vector<std::pair<int32_t, int32_t>> EvalResult::Binary(PredId p) const {
-  auto it = idb_.find(p);
-  if (it == idb_.end()) return {};
-  std::vector<std::pair<int32_t, int32_t>> out = it->second.binary_tuples();
-  std::sort(out.begin(), out.end());
-  return out;
+  const PredFacts* f = FactsOf(p);
+  if (f == nullptr || f->arity != 2) return {};
+  return f->pairs;
 }
 
 std::vector<int32_t> EvalResult::Query() const {
@@ -43,7 +43,12 @@ std::vector<int32_t> EvalResult::Query() const {
   return Unary(query_pred_);
 }
 
-/// Shared machinery for the naive and semi-naive engines.
+/// Shared machinery for the naive and semi-naive engines, running over a
+/// CompiledProgram with dense, PredId-indexed stores:
+///   arity 0: one flag per predicate;
+///   arity 1: a NodeSet bitset per predicate (total and delta);
+///   arity 2: a Relation per intensional predicate (rare — the non-monadic
+///            baselines of Section 3.2).
 class FixpointEngine {
  public:
   FixpointEngine(const Program& program, const EdbSource& edb,
@@ -51,41 +56,55 @@ class FixpointEngine {
       : program_(program),
         edb_(edb),
         options_(options),
-        domain_size_(edb.DomainSize()),
-        intensional_(program.IntensionalMask()) {}
+        domain_size_(edb.DomainSize()) {}
 
   util::Result<EvalResult> RunNaive() {
     MD_RETURN_NOT_OK(Setup());
+    std::vector<int32_t> binding;
     while (true) {
       // One T_P application against the current set; collect additions and
       // apply them after the full pass (Definition 3.1 semantics).
-      std::vector<GroundAtom> additions;
+      std::vector<FlatAtom> additions;
       std::vector<int32_t> by_rule;
-      for (size_t ri = 0; ri < program_.rules().size(); ++ri) {
-        const Rule& rule = program_.rules()[ri];
-        EnumerateRule(rule, /*delta_pos=*/-1, [&](const Rule& r,
-                                                  const std::vector<int32_t>&
-                                                      binding) {
-          GroundAtom head = Instantiate(r.head, binding);
-          if (!Holds(head)) {
-            additions.push_back(std::move(head));
+      const auto& rules = compiled_->rules();
+      for (size_t ri = 0; ri < rules.size(); ++ri) {
+        const CompiledRule& cr = rules[ri];
+        if (cr.base.dead) continue;
+        if (cr.base.set_unary) {
+          EvalSetPlan(cr.base, cr.head.pred);
+          scratch_.ForEach([&](int32_t a) {
+            additions.push_back({cr.head.pred, a, -1, 1});
+            by_rule.push_back(static_cast<int32_t>(ri));
+          });
+          continue;
+        }
+        binding.assign(std::max(cr.num_vars, 1), -1);
+        auto emit = [&](const std::vector<int32_t>& b) {
+          FlatAtom head = InstantiateHead(cr.head, b);
+          if (InDomain(head) && !Holds(head)) {
+            additions.push_back(head);
             by_rule.push_back(static_cast<int32_t>(ri));
           }
-        });
+        };
+        Exec(cr.base, 0, binding, emit);
       }
       // Deduplicate within the stage (several rules may derive one atom; the
       // first deriving rule is reported, matching the paper's annotations).
       EvalStage stage;
+      int64_t added = 0;
       for (size_t i = 0; i < additions.size(); ++i) {
         if (!Holds(additions[i])) {
           Insert(additions[i]);
-          stage.new_atoms.push_back(additions[i]);
-          stage.derived_by_rule.push_back(by_rule[i]);
+          ++added;
+          if (options_.trace) {
+            stage.new_atoms.push_back(ToGroundAtom(additions[i]));
+            stage.derived_by_rule.push_back(by_rule[i]);
+          }
         }
       }
       ++result_.num_iterations_;
-      if (stage.new_atoms.empty()) break;
-      result_.num_derived_ += static_cast<int64_t>(stage.new_atoms.size());
+      if (added == 0) break;
+      result_.num_derived_ += added;
       if (options_.trace) result_.stages_.push_back(std::move(stage));
       if (options_.max_derived >= 0 &&
           result_.num_derived_ > options_.max_derived) {
@@ -100,46 +119,55 @@ class FixpointEngine {
     // Round 0: full evaluation seeds the deltas. Candidates are buffered and
     // inserted only after each rule's enumeration completes — inserting
     // during enumeration would mutate relations the join is iterating.
-    std::vector<GroundAtom> delta;
-    std::vector<GroundAtom> buffer;
-    auto flush_buffer = [&](std::vector<GroundAtom>* sink) {
-      for (GroundAtom& g : buffer) {
+    std::vector<FlatAtom> delta;
+    std::vector<FlatAtom> buffer;
+    std::vector<int32_t> binding;
+    auto flush_buffer = [&](std::vector<FlatAtom>* sink) {
+      for (const FlatAtom& g : buffer) {
         if (!Holds(g)) {
           Insert(g);
-          sink->push_back(std::move(g));
+          sink->push_back(g);
         }
       }
       buffer.clear();
     };
-    for (const Rule& rule : program_.rules()) {
-      EnumerateRule(rule, -1,
-                    [&](const Rule& r, const std::vector<int32_t>& binding) {
-                      GroundAtom head = Instantiate(r.head, binding);
-                      if (!Holds(head)) buffer.push_back(std::move(head));
-                    });
+    auto emit = [&](const CompiledRule& cr) {
+      return [&, head = &cr.head](const std::vector<int32_t>& b) {
+        FlatAtom g = InstantiateHead(*head, b);
+        if (InDomain(g) && !Holds(g)) buffer.push_back(g);
+      };
+    };
+    for (const CompiledRule& cr : compiled_->rules()) {
+      if (!cr.base.dead) {
+        if (cr.base.set_unary) {
+          EvalSetPlan(cr.base, cr.head.pred);
+          scratch_.ForEach(
+              [&](int32_t a) { buffer.push_back({cr.head.pred, a, -1, 1}); });
+        } else {
+          binding.assign(std::max(cr.num_vars, 1), -1);
+          Exec(cr.base, 0, binding, emit(cr));
+        }
+      }
       flush_buffer(&delta);
     }
     result_.num_derived_ += static_cast<int64_t>(delta.size());
     ++result_.num_iterations_;
+    std::vector<FlatAtom> next_delta;
     while (!delta.empty()) {
-      // Load delta relations.
-      delta_.clear();
-      for (const GroundAtom& g : delta) {
-        auto [it, _] = delta_.try_emplace(
-            g.pred, Relation(static_cast<int32_t>(g.args.size()),
-                             std::max(domain_size_, 1)));
-        AddTuple(&it->second, g.args);
-      }
-      std::vector<GroundAtom> next_delta;
-      for (const Rule& rule : program_.rules()) {
-        for (size_t pos = 0; pos < rule.body.size(); ++pos) {
-          if (!intensional_[rule.body[pos].pred]) continue;
-          if (delta_.find(rule.body[pos].pred) == delta_.end()) continue;
-          EnumerateRule(rule, static_cast<int32_t>(pos),
-                        [&](const Rule& r, const std::vector<int32_t>& binding) {
-                          GroundAtom head = Instantiate(r.head, binding);
-                          if (!Holds(head)) buffer.push_back(std::move(head));
-                        });
+      LoadDelta(delta);
+      next_delta.clear();
+      for (const CompiledRule& cr : compiled_->rules()) {
+        for (const DeltaPlan& dp : cr.delta_plans) {
+          if (dp.plan.dead) continue;
+          if (!delta_present_[dp.pred]) continue;
+          if (dp.plan.set_unary) {
+            EvalSetPlan(dp.plan, cr.head.pred);
+            scratch_.ForEach(
+                [&](int32_t a) { buffer.push_back({cr.head.pred, a, -1, 1}); });
+          } else {
+            binding.assign(std::max(cr.num_vars, 1), -1);
+            Exec(dp.plan, 0, binding, emit(cr));
+          }
           flush_buffer(&next_delta);
         }
       }
@@ -149,216 +177,283 @@ class FixpointEngine {
           result_.num_derived_ > options_.max_derived) {
         return util::Status::ResourceExhausted("max_derived exceeded");
       }
-      delta = std::move(next_delta);
+      delta.swap(next_delta);
     }
     return Finish();
   }
 
  private:
+  /// A derived atom in flat form — no per-atom heap allocation.
+  struct FlatAtom {
+    PredId pred;
+    int32_t a;
+    int32_t b;
+    int8_t arity;
+  };
+
   util::Status Setup() {
     MD_RETURN_NOT_OK(CheckSafety(program_));
-    for (PredId p = 0; p < program_.preds().size(); ++p) {
-      if (intensional_[p] && program_.preds().Arity(p) > 2) {
+    const PredicateTable& preds = program_.preds();
+    std::vector<bool> intensional = program_.IntensionalMask();
+    for (PredId p = 0; p < preds.size(); ++p) {
+      if (intensional[p] && preds.Arity(p) > 2) {
         return util::Status::Unimplemented(
             "intensional predicates of arity > 2 are not supported");
       }
     }
     result_.query_pred_ = program_.query_pred();
+    compiled_.emplace(program_, edb_);
+
+    const int32_t np = preds.size();
+    nullary_.assign(np, 0);
+    delta_nullary_.assign(np, 0);
+    delta_present_.assign(np, 0);
+    unary_.resize(np);
+    delta_unary_.resize(np);
+    binary_.resize(np);
+    delta_binary_.resize(np);
+    for (PredId p = 0; p < np; ++p) {
+      if (!intensional[p]) continue;
+      switch (preds.Arity(p)) {
+        case 1:
+          unary_[p].Reset(domain_size_);
+          delta_unary_[p].Reset(domain_size_);
+          break;
+        case 2:
+          binary_[p].emplace(2, std::max(domain_size_, 1));
+          delta_binary_[p].emplace(2, std::max(domain_size_, 1));
+          break;
+        default:
+          break;
+      }
+    }
     return util::Status::OK();
   }
 
   util::Result<EvalResult> Finish() {
-    result_.idb_ = std::move(idb_);
+    const PredicateTable& preds = program_.preds();
+    result_.facts_.resize(preds.size());
+    for (PredId p = 0; p < preds.size(); ++p) {
+      if (!compiled_->intensional()[p]) continue;
+      EvalResult::PredFacts& f = result_.facts_[p];
+      switch (preds.Arity(p)) {
+        case 0:
+          if (nullary_[p]) {
+            f.arity = 0;
+            f.nullary_true = true;
+          }
+          break;
+        case 1:
+          if (!unary_[p].empty()) {
+            f.arity = 1;
+            f.unary = std::move(unary_[p]);
+          }
+          break;
+        default:
+          if (binary_[p]->size() > 0) {
+            f.arity = 2;
+            f.pairs = binary_[p]->binary_tuples();
+            std::sort(f.pairs.begin(), f.pairs.end());
+          }
+          break;
+      }
+    }
     return std::move(result_);
   }
 
-  static void AddTuple(Relation* rel, const std::vector<int32_t>& args) {
-    switch (rel->arity()) {
-      case 0: rel->SetNullaryTrue(); break;
-      case 1: rel->AddUnary(args[0]); break;
-      default: rel->AddBinary(args[0], args[1]);
+  bool InDomain(const FlatAtom& g) const {
+    if (g.arity >= 1 && (g.a < 0 || g.a >= domain_size_)) return false;
+    if (g.arity == 2 && (g.b < 0 || g.b >= domain_size_)) return false;
+    return true;
+  }
+
+  bool Holds(const FlatAtom& g) const {
+    switch (g.arity) {
+      case 0: return nullary_[g.pred] != 0;
+      case 1: return unary_[g.pred].Contains(g.a);
+      default: return binary_[g.pred]->ContainsBinary(g.a, g.b);
     }
   }
 
-  GroundAtom Instantiate(const Atom& atom,
-                         const std::vector<int32_t>& binding) const {
-    GroundAtom g;
-    g.pred = atom.pred;
-    g.args.reserve(atom.args.size());
-    for (const Term& t : atom.args) {
-      g.args.push_back(t.is_var() ? binding[t.value] : t.value);
+  void Insert(const FlatAtom& g) {
+    switch (g.arity) {
+      case 0: nullary_[g.pred] = 1; break;
+      case 1: unary_[g.pred].Insert(g.a); break;
+      default: binary_[g.pred]->AddBinary(g.a, g.b);
     }
+  }
+
+  /// Rebuilds the delta stores from the atoms of the previous round,
+  /// clearing only the predicates the previous load touched.
+  void LoadDelta(const std::vector<FlatAtom>& delta) {
+    for (PredId p : delta_touched_) {
+      delta_present_[p] = 0;
+      switch (program_.preds().Arity(p)) {
+        case 0: delta_nullary_[p] = 0; break;
+        case 1: delta_unary_[p].Clear(); break;
+        default: delta_binary_[p].emplace(2, std::max(domain_size_, 1));
+      }
+    }
+    delta_touched_.clear();
+    for (const FlatAtom& g : delta) {
+      if (!delta_present_[g.pred]) {
+        delta_present_[g.pred] = 1;
+        delta_touched_.push_back(g.pred);
+      }
+      switch (g.arity) {
+        case 0: delta_nullary_[g.pred] = 1; break;
+        case 1: delta_unary_[g.pred].Insert(g.a); break;
+        default: delta_binary_[g.pred]->AddBinary(g.a, g.b);
+      }
+    }
+  }
+
+  static FlatAtom InstantiateHead(const CompiledHead& h,
+                                  const std::vector<int32_t>& binding) {
+    FlatAtom g{h.pred, -1, -1, h.arity};
+    if (h.arity >= 1) g.a = h.a0.is_var ? binding[h.a0.v] : h.a0.v;
+    if (h.arity == 2) g.b = h.a1.is_var ? binding[h.a1.v] : h.a1.v;
     return g;
   }
 
-  bool Holds(const GroundAtom& g) const {
-    auto it = idb_.find(g.pred);
-    if (it == idb_.end()) return false;
-    const Relation& rel = it->second;
-    switch (rel.arity()) {
-      case 0: return rel.nullary_true();
-      case 1: return rel.ContainsUnary(g.args[0]);
-      default: return rel.ContainsBinary(g.args[0], g.args[1]);
-    }
+  static GroundAtom ToGroundAtom(const FlatAtom& g) {
+    GroundAtom out;
+    out.pred = g.pred;
+    if (g.arity >= 1) out.args.push_back(g.a);
+    if (g.arity == 2) out.args.push_back(g.b);
+    return out;
   }
 
-  void Insert(const GroundAtom& g) {
-    auto [it, _] = idb_.try_emplace(
-        g.pred, Relation(static_cast<int32_t>(g.args.size()),
-                         std::max(domain_size_, 1)));
-    AddTuple(&it->second, g.args);
+  const Relation* BinaryRel(const PlanStep& s) const {
+    if (!s.idb) return s.edb;
+    const auto& store = s.delta ? delta_binary_ : binary_;
+    return store[s.pred].has_value() ? &*store[s.pred] : nullptr;
   }
 
-  /// The relation backing a body atom: IDB (total), IDB delta, or EDB.
-  /// Returns nullptr for an empty extension.
-  const Relation* AtomRelation(const Atom& atom, bool use_delta) const {
-    if (intensional_[atom.pred]) {
-      const auto& store = use_delta ? delta_ : idb_;
-      auto it = store.find(atom.pred);
-      return it == store.end() ? nullptr : &it->second;
-    }
-    return edb_.Get(program_.preds().Name(atom.pred),
-                    static_cast<int32_t>(atom.args.size()));
+  static int32_t Val(const StepArg& a, const std::vector<int32_t>& binding) {
+    return a.is_var ? binding[a.v] : a.v;
   }
 
-  /// Enumerates all valuations of `rule` against the current IDB/EDB; if
-  /// delta_pos >= 0, the atom at that body position ranges over the delta
-  /// relation instead. Calls `emit(rule, binding)` per valuation.
-  template <typename Emit>
-  void EnumerateRule(const Rule& rule, int32_t delta_pos, Emit emit) {
-    // Static atom order: start from delta_pos (if any), then greedily pick
-    // atoms sharing variables with bound ones (unary before binary).
-    std::vector<int32_t> order = PlanOrder(rule, delta_pos);
-    std::vector<int32_t> binding(std::max(rule.num_vars(), 1), -1);
-    Join(rule, order, 0, delta_pos, binding, emit);
-  }
-
-  std::vector<int32_t> PlanOrder(const Rule& rule, int32_t delta_pos) const {
-    int32_t n = static_cast<int32_t>(rule.body.size());
-    std::vector<int32_t> order;
-    std::vector<bool> used(n, false);
-    std::vector<bool> bound(std::max(rule.num_vars(), 1), false);
-    auto bind_atom_vars = [&](const Atom& a) {
-      for (const Term& t : a.args) {
-        if (t.is_var()) bound[t.value] = true;
+  /// Word-parallel evaluation of a set-plan (p(x) ← q1(x), …, qk(x)):
+  /// leaves scratch_ = (∩ sources) − head's total relation — exactly the
+  /// candidates the enumerating path would emit, in ascending order.
+  void EvalSetPlan(const RulePlan& plan, PredId head_pred) {
+    bool first = true;
+    for (const PlanStep& s : plan.steps) {
+      const NodeSet& src = s.idb ? (s.delta ? delta_unary_ : unary_)[s.pred]
+                                 : s.edb->unary_set();
+      if (first) {
+        scratch_ = src;
+        first = false;
+      } else {
+        scratch_.IntersectWith(src);
       }
-    };
-    if (delta_pos >= 0) {
-      order.push_back(delta_pos);
-      used[delta_pos] = true;
-      bind_atom_vars(rule.body[delta_pos]);
+      if (scratch_.empty()) return;
     }
-    while (static_cast<int32_t>(order.size()) < n) {
-      int32_t best = -1;
-      int64_t best_score = INT64_MIN;
-      for (int32_t i = 0; i < n; ++i) {
-        if (used[i]) continue;
-        const Atom& a = rule.body[i];
-        int32_t bound_vars = 0, total_vars = 0;
-        for (const Term& t : a.args) {
-          if (t.is_var()) {
-            ++total_vars;
-            if (bound[t.value]) ++bound_vars;
-          }
-        }
-        // Prefer fully bound atoms, then atoms with more bound vars, then
-        // smaller arity.
-        int32_t score = bound_vars * 100 - total_vars * 10 -
-                        static_cast<int32_t>(a.args.size());
-        if (bound_vars == total_vars) score += 10000;
-        if (score > best_score) {
-          best_score = score;
-          best = i;
-        }
-      }
-      order.push_back(best);
-      used[best] = true;
-      bind_atom_vars(rule.body[best]);
-    }
-    return order;
+    scratch_.DifferenceWith(unary_[head_pred]);
   }
 
+  /// Executes the plan from `depth` on. Bound/free argument status is baked
+  /// into the step kinds, so there is no runtime planning, no binding resets
+  /// and no string lookups.
   template <typename Emit>
-  void Join(const Rule& rule, const std::vector<int32_t>& order, size_t depth,
-            int32_t delta_pos, std::vector<int32_t>& binding, Emit emit) {
-    if (depth == order.size()) {
-      emit(rule, binding);
+  void Exec(const RulePlan& plan, size_t depth, std::vector<int32_t>& binding,
+            const Emit& emit) {
+    if (depth == plan.steps.size()) {
+      emit(binding);
       return;
     }
-    int32_t pos = order[depth];
-    const Atom& atom = rule.body[pos];
-    const Relation* rel = AtomRelation(atom, pos == delta_pos);
-    if (rel == nullptr) return;  // empty extension
-
-    auto value_of = [&](const Term& t) -> int32_t {
-      return t.is_var() ? binding[t.value] : t.value;
-    };
-
-    switch (atom.args.size()) {
-      case 0: {
-        if (rel->nullary_true()) {
-          Join(rule, order, depth + 1, delta_pos, binding, emit);
-        }
+    const PlanStep& s = plan.steps[depth];
+    switch (s.kind) {
+      case PlanStep::Kind::kNullaryCheck: {
+        const bool holds =
+            s.idb ? (s.delta ? delta_nullary_ : nullary_)[s.pred] != 0
+                  : s.edb->nullary_true();
+        if (holds) Exec(plan, depth + 1, binding, emit);
         return;
       }
-      case 1: {
-        int32_t v = value_of(atom.args[0]);
-        if (v >= 0) {
-          if (rel->ContainsUnary(v)) {
-            Join(rule, order, depth + 1, delta_pos, binding, emit);
-          }
-          return;
-        }
-        VarId var = atom.args[0].value;
-        for (int32_t m : rel->unary_tuples()) {
-          binding[var] = m;
-          Join(rule, order, depth + 1, delta_pos, binding, emit);
-        }
-        binding[var] = -1;
+      case PlanStep::Kind::kUnaryCheck: {
+        const int32_t v = Val(s.a0, binding);
+        const bool holds =
+            s.idb ? (s.delta ? delta_unary_ : unary_)[s.pred].Contains(v)
+                  : s.edb->ContainsUnary(v);
+        if (holds) Exec(plan, depth + 1, binding, emit);
         return;
       }
-      default: {
-        int32_t a = value_of(atom.args[0]);
-        int32_t b = value_of(atom.args[1]);
-        // Identical variables in one atom: R(x, x).
-        bool same_var = atom.args[0].is_var() && atom.args[1].is_var() &&
-                        atom.args[0].value == atom.args[1].value;
-        if (a >= 0 && b >= 0) {
-          if (rel->ContainsBinary(a, b)) {
-            Join(rule, order, depth + 1, delta_pos, binding, emit);
-          }
-        } else if (a >= 0) {
-          VarId var = atom.args[1].value;
-          for (int32_t m : rel->Forward(a)) {
-            if (same_var && m != a) continue;
+      case PlanStep::Kind::kUnaryScan: {
+        const int32_t var = s.a0.v;
+        if (s.idb) {
+          (s.delta ? delta_unary_ : unary_)[s.pred].ForEach([&](int32_t m) {
             binding[var] = m;
-            Join(rule, order, depth + 1, delta_pos, binding, emit);
-          }
-          binding[var] = -1;
-        } else if (b >= 0) {
-          VarId var = atom.args[0].value;
-          for (int32_t m : rel->Backward(b)) {
-            if (same_var && m != b) continue;
-            binding[var] = m;
-            Join(rule, order, depth + 1, delta_pos, binding, emit);
-          }
-          binding[var] = -1;
+            Exec(plan, depth + 1, binding, emit);
+          });
         } else {
-          VarId va = atom.args[0].value;
-          VarId vb = atom.args[1].value;
+          for (int32_t m : s.edb->unary_tuples()) {
+            binding[var] = m;
+            Exec(plan, depth + 1, binding, emit);
+          }
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryCheck: {
+        const Relation* rel = BinaryRel(s);
+        if (rel != nullptr &&
+            rel->ContainsBinary(Val(s.a0, binding), Val(s.a1, binding))) {
+          Exec(plan, depth + 1, binding, emit);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryFnForward: {
+        const int32_t m = s.edb->ForwardOne(Val(s.a0, binding));
+        if (m >= 0) {
+          binding[s.a1.v] = m;
+          Exec(plan, depth + 1, binding, emit);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryFnBackward: {
+        const int32_t m = s.edb->BackwardOne(Val(s.a1, binding));
+        if (m >= 0) {
+          binding[s.a0.v] = m;
+          Exec(plan, depth + 1, binding, emit);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryScanForward: {
+        const Relation* rel = BinaryRel(s);
+        if (rel == nullptr) return;
+        const int32_t var = s.a1.v;
+        for (int32_t m : rel->Forward(Val(s.a0, binding))) {
+          binding[var] = m;
+          Exec(plan, depth + 1, binding, emit);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryScanBackward: {
+        const Relation* rel = BinaryRel(s);
+        if (rel == nullptr) return;
+        const int32_t var = s.a0.v;
+        for (int32_t m : rel->Backward(Val(s.a1, binding))) {
+          binding[var] = m;
+          Exec(plan, depth + 1, binding, emit);
+        }
+        return;
+      }
+      case PlanStep::Kind::kBinaryScanAll: {
+        const Relation* rel = BinaryRel(s);
+        if (rel == nullptr) return;
+        if (s.same_var) {
+          // Identical variables in one atom: R(x, x).
           for (const auto& [x, y] : rel->binary_tuples()) {
-            if (same_var) {
-              if (x != y) continue;
-              binding[va] = x;
-              Join(rule, order, depth + 1, delta_pos, binding, emit);
-              binding[va] = -1;
-            } else {
-              binding[va] = x;
-              binding[vb] = y;
-              Join(rule, order, depth + 1, delta_pos, binding, emit);
-              binding[va] = -1;
-              binding[vb] = -1;
-            }
+            if (x != y) continue;
+            binding[s.a0.v] = x;
+            Exec(plan, depth + 1, binding, emit);
+          }
+        } else {
+          for (const auto& [x, y] : rel->binary_tuples()) {
+            binding[s.a0.v] = x;
+            binding[s.a1.v] = y;
+            Exec(plan, depth + 1, binding, emit);
           }
         }
         return;
@@ -370,9 +465,16 @@ class FixpointEngine {
   const EdbSource& edb_;
   const EvalOptions& options_;
   int32_t domain_size_;
-  std::vector<bool> intensional_;
-  std::map<PredId, Relation> idb_;
-  std::map<PredId, Relation> delta_;
+  std::optional<CompiledProgram> compiled_;
+
+  // Dense PredId-indexed stores (total and delta).
+  std::vector<uint8_t> nullary_, delta_nullary_;
+  std::vector<NodeSet> unary_, delta_unary_;
+  std::vector<std::optional<Relation>> binary_, delta_binary_;
+  std::vector<uint8_t> delta_present_;
+  std::vector<PredId> delta_touched_;
+  NodeSet scratch_;  // set-plan workspace
+
   EvalResult result_;
 };
 
@@ -380,8 +482,7 @@ util::Result<EvalResult> EvaluateNaive(const Program& program,
                                        const EdbSource& edb,
                                        const EvalOptions& options) {
   FixpointEngine engine(program, edb, options);
-  auto res = engine.RunNaive();
-  return res;
+  return engine.RunNaive();
 }
 
 util::Result<EvalResult> EvaluateSemiNaive(const Program& program,

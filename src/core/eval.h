@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/ast.h"
 #include "src/core/database.h"
+#include "src/core/nodeset.h"
 #include "src/util/result.h"
 
 /// \file eval.h
@@ -17,6 +17,17 @@
 /// delta relations. Both work over arbitrary finite structures (EdbSource)
 /// and support intensional predicates of arity 0, 1 and 2 (arity 2 covers the
 /// non-monadic baselines of Section 3.2).
+///
+/// Both engines run over a CompiledProgram (compiled.h): join orders are
+/// planned once per (rule, delta position), extensional atoms are resolved to
+/// concrete relations once, and unary intensional relations are dense
+/// bitsets (NodeSet) — the Theorem 4.2 O(|P|·|dom|) hot path without
+/// per-tuple string lookups or re-planning.
+///
+/// Derived atoms live in the domain: a head whose constant falls outside
+/// {0..DomainSize()-1} is not derivable (the seed engine's behavior for such
+/// programs was out-of-bounds UB; all engines, including the reference
+/// oracle, now agree on this rule).
 
 namespace mdatalog::core {
 
@@ -38,6 +49,11 @@ struct EvalStage {
 };
 
 /// The fixpoint T^ω_P restricted to intensional predicates.
+///
+/// Ordering guarantee: Unary() and Query() return members sorted ascending
+/// (they iterate the backing bitset, which is naturally ordered); Binary()
+/// returns pairs sorted lexicographically (sorted once when the result is
+/// built, not on every call).
 class EvalResult {
  public:
   bool NullaryTrue(PredId p) const;
@@ -46,7 +62,7 @@ class EvalResult {
 
   /// Members of a unary IDB predicate, sorted ascending.
   std::vector<int32_t> Unary(PredId p) const;
-  /// Pairs of a binary IDB predicate, sorted.
+  /// Pairs of a binary IDB predicate, sorted lexicographically.
   std::vector<std::pair<int32_t, int32_t>> Binary(PredId p) const;
 
   /// The distinguished query result {x | query_pred(x) ∈ T^ω_P}, sorted.
@@ -62,7 +78,23 @@ class EvalResult {
  private:
   friend class FixpointEngine;
   friend class GroundedEvaluator;
-  std::map<PredId, Relation> idb_;
+
+  /// Facts of one intensional predicate. arity == -1 means "no facts
+  /// recorded" (the predicate never appeared in a derivation).
+  struct PredFacts {
+    int8_t arity = -1;
+    bool nullary_true = false;
+    NodeSet unary;
+    std::vector<std::pair<int32_t, int32_t>> pairs;  // sorted
+  };
+  const PredFacts* FactsOf(PredId p) const {
+    return (p >= 0 && static_cast<size_t>(p) < facts_.size() &&
+            facts_[p].arity >= 0)
+               ? &facts_[p]
+               : nullptr;
+  }
+
+  std::vector<PredFacts> facts_;  // indexed by PredId (dense)
   PredId query_pred_ = -1;
   std::vector<EvalStage> stages_;
   int64_t num_iterations_ = 0;

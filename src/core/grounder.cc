@@ -68,15 +68,58 @@ tree::NodeId ApplyBackward(const tree::Tree& t, const RelKind& r,
   return tree::kNoNode;
 }
 
-bool CheckUnaryTreePred(const tree::Tree& t, const std::string& name,
-                        tree::NodeId n) {
-  if (name == "root") return t.IsRoot(n);
-  if (name == "leaf") return t.IsLeaf(n);
-  if (name == "lastsibling") return t.IsLastSibling(n);
-  if (name == "firstsibling") return t.IsFirstSibling(n);
+/// Unary tree predicates, pre-classified so the per-node hot loop compares
+/// interned label ids instead of strings.
+enum class UnaryKind : uint8_t {
+  kRoot,
+  kLeaf,
+  kLastSibling,
+  kFirstSibling,
+  kLabel,
+};
+
+struct UnarySpec {
+  UnaryKind kind;
+  tree::LabelId label = util::kInvalidSymbol;  // for kLabel
+};
+
+bool ClassifyUnary(const tree::Tree& t, const std::string& name,
+                   UnarySpec* out) {
+  if (name == "root") {
+    out->kind = UnaryKind::kRoot;
+    return true;
+  }
+  if (name == "leaf") {
+    out->kind = UnaryKind::kLeaf;
+    return true;
+  }
+  if (name == "lastsibling") {
+    out->kind = UnaryKind::kLastSibling;
+    return true;
+  }
+  if (name == "firstsibling") {
+    out->kind = UnaryKind::kFirstSibling;
+    return true;
+  }
   std::string label = LabelFromPredName(name);
-  MD_CHECK(!label.empty());
-  return t.label_name(n) == label;
+  if (label.empty()) return false;
+  out->kind = UnaryKind::kLabel;
+  // A label absent from the tree's alphabet interns to kInvalidSymbol, which
+  // no node carries — the empty relation of Remark 2.2.
+  out->label = t.FindLabel(label);
+  return true;
+}
+
+bool CheckUnaryTreePred(const tree::Tree& t, const UnarySpec& spec,
+                        tree::NodeId n) {
+  switch (spec.kind) {
+    case UnaryKind::kRoot: return t.IsRoot(n);
+    case UnaryKind::kLeaf: return t.IsLeaf(n);
+    case UnaryKind::kLastSibling: return t.IsLastSibling(n);
+    case UnaryKind::kFirstSibling: return t.IsFirstSibling(n);
+    case UnaryKind::kLabel: return t.label(n) == spec.label;
+  }
+  return false;
 }
 
 }  // namespace
@@ -122,43 +165,69 @@ class GroundedEvaluator {
           "program not groundable over the functional tree schema; normalize "
           "with the TMNF pipeline or use the semi-naive engine");
     }
+    ClassifyPredicates();
     AssignAtomIds();
     for (const Rule& rule : program_.rules()) GroundRule(rule);
 
-    horn_.num_atoms = next_atom_id_;
-    std::vector<bool> model = SolveHorn(horn_);
+    flat_.num_atoms = next_atom_id_;
+    std::vector<bool> model = SolveHorn(flat_);
 
     EvalResult result;
     result.query_pred_ = program_.query_pred();
+    result.facts_.resize(program_.preds().size());
     for (PredId p = 0; p < program_.preds().size(); ++p) {
       if (!intensional_[p]) continue;
-      int32_t arity = program_.preds().Arity(p);
-      Relation rel(arity, std::max(n_, 1));
-      if (arity == 1) {
+      EvalResult::PredFacts& f = result.facts_[p];
+      if (program_.preds().Arity(p) == 1) {
+        NodeSet members(std::max(n_, 1));
         for (tree::NodeId node = 0; node < n_; ++node) {
           if (model[UnaryAtomId(p, node)]) {
-            rel.AddUnary(node);
+            members.Insert(node);
             ++result.num_derived_;
           }
         }
+        if (!members.empty()) {
+          f.arity = 1;
+          f.unary = std::move(members);
+        }
       } else {
         if (model[NullaryAtomId(p)]) {
-          rel.SetNullaryTrue();
+          f.arity = 0;
+          f.nullary_true = true;
           ++result.num_derived_;
         }
       }
-      result.idb_.emplace(p, std::move(rel));
     }
     result.num_iterations_ = 1;
     if (stats != nullptr) {
-      stats->num_clauses = static_cast<int64_t>(horn_.clauses.size());
+      stats->num_clauses = flat_.num_clauses();
       stats->num_atoms = next_atom_id_;
-      stats->num_literals = horn_.NumLiterals();
+      stats->num_literals = flat_.NumLiterals();
     }
     return result;
   }
 
  private:
+  /// Resolves every extensional predicate's name to a UnarySpec / RelKind
+  /// once, so the per-node grounding loops never touch strings.
+  /// Classification depends only on the predicate, not the occurrence.
+  void ClassifyPredicates() {
+    const PredicateTable& preds = program_.preds();
+    unary_specs_.resize(preds.size());
+    binary_specs_.resize(preds.size());
+    for (PredId p = 0; p < preds.size(); ++p) {
+      if (intensional_[p]) continue;
+      const std::string& name = preds.Name(p);
+      if (preds.Arity(p) == 1) {
+        ClassifyUnary(tree_, name, &unary_specs_[p]);
+      } else if (preds.Arity(p) == 2) {
+        ClassifyBinary(name, &binary_specs_[p]);
+      }
+      // Unclassifiable predicates never occur in a body of a groundable
+      // program (GroundableOverTree), so their specs are never read.
+    }
+  }
+
   void AssignAtomIds() {
     unary_index_.assign(program_.preds().size(), -1);
     nullary_index_.assign(program_.preds().size(), -1);
@@ -247,89 +316,141 @@ class GroundedEvaluator {
         if (c < 0 || c >= n_) return;
         head_atom = UnaryAtomId(rule.head.pred, c);
       }
-      horn_.clauses.push_back({head_atom, shared_body});
+      flat_.body_lits.insert(flat_.body_lits.end(), shared_body.begin(),
+                             shared_body.end());
+      flat_.Commit(head_atom);
     }
   }
 
   /// Grounds one variable component over all anchor nodes. If head_pred >= 0,
   /// emits clauses with head head_pred(binding of the rule's head variable);
   /// otherwise emits clauses with the fixed propositional head atom.
+  ///
+  /// The component's structure is identical for every anchor, so the
+  /// propagation is compiled once into a step schedule (spanning-tree
+  /// assignments + consistency checks, BFS order from the anchor) and the
+  /// per-node loop just replays it. Each binary atom is validated exactly
+  /// once: firstchild / nextsibling / child_k are injective partial
+  /// functions, so f(x) = y and f⁻¹(y) = x are equivalent and the second
+  /// direction needs no re-check.
   void GroundComponent(const Rule& rule, const std::vector<int32_t>& comp,
                        int32_t c, const std::vector<const Atom*>& atoms,
                        PredId head_pred, int32_t fixed_head_atom,
                        const std::vector<int32_t>& extra_body) {
-    // Collect the component's variables and its var-var edges.
+    // Collect the component's variables.
     std::vector<VarId> vars;
     for (VarId v = 0; v < rule.num_vars(); ++v) {
       if (comp[v] == c) vars.push_back(v);
     }
     MD_CHECK(!vars.empty());
-    struct Edge {
+
+    // Partition the atoms: var-var binary atoms drive propagation; unary EDB
+    // atoms become pre-classified spec checks; unary IDB atoms become Horn
+    // literals; constant-carrying binary atoms stay on a residual check path.
+    struct DirEdge {
       VarId from, to;
       RelKind rel;
       bool forward;  // true: to = f(from); false: to = f^{-1}(from)
+      int32_t atom;
     };
-    std::vector<std::vector<Edge>> adj(rule.num_vars());
-    for (const Atom* a : atoms) {
-      if (a->args.size() != 2 || !a->args[0].is_var() || !a->args[1].is_var()) {
-        continue;
+    std::vector<std::vector<DirEdge>> adj(rule.num_vars());
+    std::vector<std::pair<UnarySpec, VarId>> unary_checks;
+    std::vector<std::pair<PredId, VarId>> idb_lits;
+    std::vector<const Atom*> residual;
+    for (size_t ai = 0; ai < atoms.size(); ++ai) {
+      const Atom* a = atoms[ai];
+      if (intensional_[a->pred]) {
+        // Monadic + in this component ⇒ one argument, and it is a variable.
+        MD_DCHECK(a->args.size() == 1 && a->args[0].is_var());
+        idb_lits.emplace_back(a->pred, a->args[0].value);
+      } else if (a->args.size() == 1) {
+        MD_DCHECK(a->args[0].is_var());
+        unary_checks.emplace_back(unary_specs_[a->pred], a->args[0].value);
+      } else if (a->args[0].is_var() && a->args[1].is_var()) {
+        const RelKind& kind = binary_specs_[a->pred];
+        VarId x = a->args[0].value, y = a->args[1].value;
+        adj[x].push_back({x, y, kind, true, static_cast<int32_t>(ai)});
+        adj[y].push_back({y, x, kind, false, static_cast<int32_t>(ai)});
+      } else {
+        residual.push_back(a);
       }
-      RelKind kind;
-      MD_CHECK(ClassifyBinary(program_.preds().Name(a->pred), &kind));
-      VarId x = a->args[0].value, y = a->args[1].value;
-      adj[x].push_back({x, y, kind, true});
-      adj[y].push_back({y, x, kind, false});
     }
 
-    VarId anchor = vars[0];
+    // Compile the schedule: BFS from the anchor over the directed edges.
+    struct Step {
+      bool assign;  // true: binding[to] = f(from); false: f(from) == binding[to]
+      VarId from, to;
+      RelKind rel;
+      bool forward;
+    };
+    std::vector<Step> steps;
+    std::vector<bool> atom_done(atoms.size(), false);
+    std::vector<bool> assigned(rule.num_vars(), false);
+    const VarId anchor = vars[0];
+    assigned[anchor] = true;
+    std::vector<VarId> queue{anchor};
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      for (const DirEdge& e : adj[queue[qi]]) {
+        if (!assigned[e.to]) {
+          steps.push_back({true, e.from, e.to, e.rel, e.forward});
+          assigned[e.to] = true;
+          atom_done[e.atom] = true;
+          queue.push_back(e.to);
+        } else if (!atom_done[e.atom]) {
+          steps.push_back({false, e.from, e.to, e.rel, e.forward});
+          atom_done[e.atom] = true;
+        }
+      }
+    }
+    MD_DCHECK(queue.size() == vars.size());  // component is connected
+
+    const VarId head_var = head_pred >= 0 ? rule.head.args[0].value : -1;
     std::vector<tree::NodeId> binding(rule.num_vars(), tree::kNoNode);
-    std::vector<VarId> queue;
+    std::vector<int32_t> residual_scratch;
+
     for (tree::NodeId node = 0; node < n_; ++node) {
-      // Reset only this component's bindings.
-      for (VarId v : vars) binding[v] = tree::kNoNode;
       binding[anchor] = node;
-      queue.clear();
-      queue.push_back(anchor);
       bool failed = false;
-      size_t qi = 0;
-      while (qi < queue.size() && !failed) {
-        VarId x = queue[qi++];
-        for (const Edge& e : adj[x]) {
-          tree::NodeId target =
-              e.forward ? ApplyForward(tree_, e.rel, binding[e.from])
-                        : ApplyBackward(tree_, e.rel, binding[e.from]);
+      for (const Step& s : steps) {
+        const tree::NodeId target =
+            s.forward ? ApplyForward(tree_, s.rel, binding[s.from])
+                      : ApplyBackward(tree_, s.rel, binding[s.from]);
+        if (s.assign) {
           if (target == tree::kNoNode) {
             failed = true;
             break;
           }
-          if (binding[e.to] == tree::kNoNode) {
-            binding[e.to] = target;
-            queue.push_back(e.to);
-          } else if (binding[e.to] != target) {
-            failed = true;
-            break;
-          }
-        }
-      }
-      if (failed) continue;
-      MD_DCHECK(queue.size() == vars.size());  // component is connected
-
-      // Check EDB atoms; collect IDB literals.
-      std::vector<int32_t> body = extra_body;
-      bool sat = true;
-      for (const Atom* a : atoms) {
-        if (!EmitGroundAtom(*a, &binding, &body)) {
-          sat = false;
+          binding[s.to] = target;
+        } else if (target != binding[s.to]) {
+          failed = true;
           break;
         }
       }
-      if (!sat) continue;
-
-      int32_t head_atom = fixed_head_atom;
-      if (head_pred >= 0) {
-        head_atom = UnaryAtomId(head_pred, binding[rule.head.args[0].value]);
+      if (failed) continue;
+      for (const auto& [spec, v] : unary_checks) {
+        if (!CheckUnaryTreePred(tree_, spec, binding[v])) {
+          failed = true;
+          break;
+        }
       }
-      horn_.clauses.push_back({head_atom, std::move(body)});
+      if (failed) continue;
+      for (const Atom* a : residual) {
+        residual_scratch.clear();
+        if (!EmitGroundAtom(*a, &binding, &residual_scratch)) {
+          failed = true;
+          break;
+        }
+      }
+      if (failed) continue;
+
+      // Emit the clause straight into the flat arena.
+      flat_.body_lits.insert(flat_.body_lits.end(), extra_body.begin(),
+                             extra_body.end());
+      for (const auto& [p, v] : idb_lits) {
+        flat_.body_lits.push_back(UnaryAtomId(p, binding[v]));
+      }
+      flat_.Commit(head_pred >= 0 ? UnaryAtomId(head_pred, binding[head_var])
+                                  : fixed_head_atom);
     }
   }
 
@@ -355,19 +476,16 @@ class GroundedEvaluator {
       }
       return true;
     }
-    const std::string& name = program_.preds().Name(a.pred);
     if (a.args.size() == 1) {
       int32_t v = value_of(a.args[0]);
       if (v < 0 || v >= n_) return false;
-      return CheckUnaryTreePred(tree_, name, v);
+      return CheckUnaryTreePred(tree_, unary_specs_[a.pred], v);
     }
     MD_CHECK(a.args.size() == 2);
-    RelKind kind;
-    MD_CHECK(ClassifyBinary(name, &kind));
     int32_t x = value_of(a.args[0]);
     int32_t y = value_of(a.args[1]);
     if (x < 0 || x >= n_ || y < 0 || y >= n_) return false;
-    return ApplyForward(tree_, kind, x) == y;
+    return ApplyForward(tree_, binary_specs_[a.pred], x) == y;
   }
 
   const Program& program_;
@@ -376,8 +494,10 @@ class GroundedEvaluator {
   std::vector<bool> intensional_;
   std::vector<int32_t> unary_index_;
   std::vector<int32_t> nullary_index_;
+  std::vector<UnarySpec> unary_specs_;   // per EDB PredId, arity 1
+  std::vector<RelKind> binary_specs_;    // per EDB PredId, arity 2
   int32_t next_atom_id_ = 0;
-  HornInstance horn_;
+  FlatHornInstance flat_;
 };
 
 util::Result<EvalResult> EvaluateGrounded(const Program& program,

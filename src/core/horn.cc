@@ -5,36 +5,59 @@
 namespace mdatalog::core {
 
 std::vector<bool> SolveHorn(const HornInstance& instance) {
+  // Legacy entry point: convert to the flat layout and delegate, so there is
+  // exactly one propagation implementation.
+  FlatHornInstance flat;
+  flat.num_atoms = instance.num_atoms;
+  flat.heads.reserve(instance.clauses.size());
+  for (const HornClause& c : instance.clauses) {
+    flat.body_lits.insert(flat.body_lits.end(), c.body.begin(), c.body.end());
+    flat.Commit(c.head);
+  }
+  return SolveHorn(flat);
+}
+
+std::vector<bool> SolveHorn(const FlatHornInstance& instance) {
   const int32_t n = instance.num_atoms;
+  const int32_t num_clauses = static_cast<int32_t>(instance.heads.size());
   std::vector<bool> value(n, false);
-  // counter[c] = number of body occurrences not yet satisfied. Duplicate
-  // atoms in a body are counted per occurrence, so one decrement per
-  // occurrence keeps the counter exact.
-  std::vector<int32_t> counter(instance.clauses.size());
-  // occurrence lists: atom -> clause indices (one entry per occurrence)
-  std::vector<std::vector<int32_t>> occurs(n);
+  std::vector<int32_t> counter(num_clauses);
+  std::vector<int32_t> occ_start(static_cast<size_t>(n) + 1, 0);
   std::vector<int32_t> queue;
 
-  for (size_t ci = 0; ci < instance.clauses.size(); ++ci) {
-    const HornClause& c = instance.clauses[ci];
-    MD_DCHECK(c.head >= 0 && c.head < n);
-    counter[ci] = static_cast<int32_t>(c.body.size());
-    for (int32_t a : c.body) {
-      MD_DCHECK(a >= 0 && a < n);
-      occurs[a].push_back(static_cast<int32_t>(ci));
+  for (int32_t ci = 0; ci < num_clauses; ++ci) {
+    MD_DCHECK(instance.heads[ci] >= 0 && instance.heads[ci] < n);
+    const int32_t body_size =
+        instance.body_start[ci + 1] - instance.body_start[ci];
+    counter[ci] = body_size;
+    if (body_size == 0 && !value[instance.heads[ci]]) {
+      value[instance.heads[ci]] = true;
+      queue.push_back(instance.heads[ci]);
     }
-    if (c.body.empty() && !value[c.head]) {
-      value[c.head] = true;
-      queue.push_back(c.head);
+  }
+  for (int32_t a : instance.body_lits) {
+    MD_DCHECK(a >= 0 && a < n);
+    ++occ_start[a + 1];
+  }
+  for (int32_t a = 0; a < n; ++a) occ_start[a + 1] += occ_start[a];
+  std::vector<int32_t> occ(instance.body_lits.size());
+  {
+    std::vector<int32_t> fill(occ_start.begin(), occ_start.end() - 1);
+    for (int32_t ci = 0; ci < num_clauses; ++ci) {
+      for (int32_t i = instance.body_start[ci];
+           i < instance.body_start[ci + 1]; ++i) {
+        occ[fill[instance.body_lits[i]]++] = ci;
+      }
     }
   }
 
   while (!queue.empty()) {
     int32_t a = queue.back();
     queue.pop_back();
-    for (int32_t ci : occurs[a]) {
+    for (int32_t i = occ_start[a]; i < occ_start[a + 1]; ++i) {
+      const int32_t ci = occ[i];
       if (--counter[ci] == 0) {
-        int32_t h = instance.clauses[ci].head;
+        int32_t h = instance.heads[ci];
         if (!value[h]) {
           value[h] = true;
           queue.push_back(h);

@@ -31,8 +31,38 @@ struct HornInstance {
   }
 };
 
+/// A Horn program in CSR layout: clause bodies live in one shared arena
+/// instead of one heap vector per clause. The grounded evaluator emits
+/// O(|P|·|dom|) clauses; the flat layout makes emission allocation-free and
+/// unit propagation cache-friendly.
+///
+/// Emission protocol: push body literals onto `body_lits`, then Commit(head)
+/// to seal the clause. Emitters must decide satisfiability before pushing
+/// (the grounded evaluator runs all its checks first, then emits).
+struct FlatHornInstance {
+  int32_t num_atoms = 0;
+  std::vector<int32_t> heads;               // per clause
+  std::vector<int32_t> body_start = {0};    // clause i's body: [start[i], start[i+1])
+  std::vector<int32_t> body_lits;
+
+  void Commit(int32_t head) {
+    heads.push_back(head);
+    body_start.push_back(static_cast<int32_t>(body_lits.size()));
+  }
+
+  int64_t num_clauses() const { return static_cast<int64_t>(heads.size()); }
+  int64_t NumLiterals() const {
+    return static_cast<int64_t>(heads.size()) +
+           static_cast<int64_t>(body_lits.size());
+  }
+};
+
 /// Computes the least model: value[a] == true iff atom a is derivable.
 /// Runs in time linear in NumLiterals().
 std::vector<bool> SolveHorn(const HornInstance& instance);
+
+/// Least model of a flat instance; same algorithm, zero per-clause
+/// allocations.
+std::vector<bool> SolveHorn(const FlatHornInstance& instance);
 
 }  // namespace mdatalog::core

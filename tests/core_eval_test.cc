@@ -448,7 +448,8 @@ TEST(EvalTest, BinaryIdbSupportedByFixpointEngines) {
       "tc(X, Y) :- nextsibling(X, Y).\n"
       "tc(X, Z) :- tc(X, Y), nextsibling(Y, Z).\n");
   ASSERT_TRUE(p.ok());
-  TreeDatabase db(SmallTree());
+  Tree t = SmallTree();  // TreeDatabase references the tree; keep it alive.
+  TreeDatabase db(t);
   auto r = EvaluateSemiNaive(*p, db);
   ASSERT_TRUE(r.ok());
   using P = std::vector<std::pair<int32_t, int32_t>>;
