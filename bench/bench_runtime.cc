@@ -1,0 +1,152 @@
+// Serving-runtime throughput: one fixed catalog wrapper over a 1k-page
+// synthetic corpus (125 distinct pages, each re-requested 8× — the
+// re-crawl repetition a wrapper deployment sees). Series:
+//
+//   BM_ServeCorpusColdDirect     — the pre-runtime path: WrapHtmlToXml per
+//                                  page, one thread, no caches (baseline).
+//   BM_ServeCorpusRuntime/T/M    — WrapperRuntime with warm caches at T
+//                                  threads; M=1 result memo on, M=0 off.
+//
+// Counters report pages/sec; the acceptance bar is warm-batch ≥ 3× cold
+// single-thread at 4 threads with byte-identical output (asserted here).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/elog/ast.h"
+#include "src/html/parser.h"
+#include "src/html/synthetic.h"
+#include "src/runtime/runtime.h"
+#include "src/tree/serialize.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/wrapper/wrapper.h"
+
+namespace {
+
+using namespace mdatalog;
+
+constexpr int kDistinctPages = 125;
+constexpr int kCorpusSize = 1000;
+
+wrapper::Wrapper CatalogWrapper() {
+  auto program = elog::ParseElog(R"(
+    anynode(X) <- root(X).
+    anynode(X) <- anynode(P), subelem(P, "_", X).
+    item(X)  <- anynode(P), subelem(P, "tr@item", X).
+    price(Y) <- item(X), subelem(X, "td@price", Y).
+  )");
+  MD_CHECK(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"item", "price"};
+  return w;
+}
+
+/// 1000 requests over 125 distinct pages, round-robin (each distinct page is
+/// served 8 times, interleaved — no two consecutive requests share a page).
+const std::vector<std::string>& Corpus() {
+  static const std::vector<std::string>* corpus = [] {
+    auto* pages = new std::vector<std::string>;
+    std::vector<std::string> distinct;
+    for (int i = 0; i < kDistinctPages; ++i) {
+      util::Rng rng(1000 + i);
+      html::CatalogOptions opts;
+      opts.num_items = 8 + i % 17;
+      opts.with_ads = (i % 3 != 0);
+      opts.alt_layout = (i % 5 == 0);
+      distinct.push_back(html::ProductCatalogPage(rng, opts));
+    }
+    for (int i = 0; i < kCorpusSize; ++i) {
+      pages->push_back(distinct[i % kDistinctPages]);
+    }
+    return pages;
+  }();
+  return *corpus;
+}
+
+/// Cold baseline: parse + project + validate + evaluate per page, one
+/// thread — exactly what every WrapHtmlToXml call did before the runtime.
+void BM_ServeCorpusColdDirect(benchmark::State& state) {
+  wrapper::Wrapper w = CatalogWrapper();
+  const auto& corpus = Corpus();
+  int64_t pages = 0;
+  for (auto _ : state) {
+    for (const std::string& page : corpus) {
+      auto doc = html::ParseHtml(page);
+      MD_CHECK(doc.ok());
+      tree::Tree t = html::ProjectAttributeIntoLabels(*doc, "class");
+      auto out = wrapper::WrapTree(w, t);
+      MD_CHECK(out.ok());
+      std::string xml = tree::ToXml(*out);
+      benchmark::DoNotOptimize(xml);
+      ++pages;
+    }
+  }
+  state.SetItemsProcessed(pages);
+  state.counters["pages_per_sec"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeCorpusColdDirect)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Runtime serving with warm caches: range(0) = threads, range(1) = memo.
+void BM_ServeCorpusRuntime(benchmark::State& state) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = static_cast<int32_t>(state.range(0));
+  opts.result_memo_bytes = state.range(1) != 0 ? (64 << 20) : 0;
+  opts.document_cache_bytes = 256 << 20;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  MD_CHECK(handle.ok());
+  const auto& corpus = Corpus();
+
+  // Warm-up pass (outside timing): fills the document cache / memo, and
+  // asserts the runtime output is byte-identical to the direct sequential
+  // path — the bench must not get fast by getting wrong.
+  {
+    auto warm = rt.RunBatch(*handle, corpus);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      MD_CHECK(warm[i].ok());
+      if (i < kDistinctPages) {
+        auto doc = html::ParseHtml(corpus[i]);
+        MD_CHECK(doc.ok());
+        tree::Tree t = html::ProjectAttributeIntoLabels(*doc, "class");
+        auto out = wrapper::WrapTree(CatalogWrapper(), t);
+        MD_CHECK(*warm[i] == tree::ToXml(*out));
+      }
+    }
+  }
+
+  int64_t pages = 0;
+  for (auto _ : state) {
+    auto results = rt.RunBatch(*handle, corpus);
+    MD_CHECK(results.size() == corpus.size());
+    for (const auto& r : results) MD_CHECK(r.ok());
+    benchmark::DoNotOptimize(results);
+    pages += static_cast<int64_t>(results.size());
+  }
+  state.SetItemsProcessed(pages);
+  state.counters["pages_per_sec"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+  state.counters["doc_cache_hits"] =
+      static_cast<double>(rt.stats().document_cache.hits);
+  state.counters["memo_hits"] = static_cast<double>(rt.stats().memo_hits);
+}
+// UseRealTime: the workers run off the main thread, so CPU-time rates would
+// overstate throughput wildly; wall-clock is the serving number.
+BENCHMARK(BM_ServeCorpusRuntime)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->ArgNames({"threads", "memo"})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

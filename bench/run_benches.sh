@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Runs the core evaluation benchmark suite and writes BENCH_eval.json at the
-# repo root (google-benchmark's --benchmark_format=json), so the perf
+# Runs the benchmark suites and writes BENCH_eval.json + BENCH_runtime.json
+# at the repo root (google-benchmark's --benchmark_format=json), so the perf
 # trajectory is tracked across PRs.
 #
 # Usage: bench/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to ./build (configured+built already, or this
 #                     script configures and builds it)
-#   benchmark_filter  defaults to all benchmarks in bench_eval_linear
+#   benchmark_filter  defaults to all benchmarks in each suite
 
 set -euo pipefail
 
@@ -15,11 +15,12 @@ BUILD_DIR="${1:-${REPO_ROOT}/build}"
 FILTER="${2:-.}"
 
 # Configure if needed, and always build: a stale binary would silently
-# record pre-change numbers into BENCH_eval.json.
+# record pre-change numbers into the JSON outputs.
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "${BUILD_DIR}" --target bench_eval_linear -j"$(nproc)"
+cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
+  -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -28,3 +29,14 @@ cmake --build "${BUILD_DIR}" --target bench_eval_linear -j"$(nproc)"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_eval.json"
+
+# Serving-runtime throughput (cold vs warm cache, 1 vs N threads). A fixed
+# min_time keeps the 1k-page corpus series comparable across PRs.
+"${BUILD_DIR}/bench_runtime" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_runtime.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_runtime.json"

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -74,6 +75,9 @@ class Relation {
     return static_cast<int64_t>(pairs_.size());
   }
 
+  /// Approximate heap footprint in bytes (for cache byte-budget accounting).
+  int64_t ApproxBytes() const;
+
  private:
   int32_t arity_;
   int32_t domain_size_;
@@ -143,6 +147,14 @@ class ExplicitDatabase : public EdbSource {
 ///
 /// label_<l> for a label l not occurring in the tree is the empty relation,
 /// consistent with the infinite-alphabet reading of Remark 2.2.
+///
+/// Thread safety: the lazy materialization cache is mutex-guarded, so a
+/// single TreeDatabase may serve concurrent Get() calls from many evaluation
+/// threads (the serving runtime shares one instance per cached document).
+/// Returned Relation pointers stay valid for the database's lifetime — the
+/// node-based map never invalidates values — and Relations are immutable
+/// once published. The lock is only taken on the Get path, which engines hit
+/// once per (program, atom) at plan-compile time, never per tuple.
 class TreeDatabase : public EdbSource {
  public:
   explicit TreeDatabase(const tree::Tree& t) : tree_(t) {}
@@ -157,13 +169,23 @@ class TreeDatabase : public EdbSource {
   /// True iff `name`/`arity` is one of the tree-schema predicate names above.
   static bool IsTreePredicate(const std::string& name, int32_t arity);
 
+  /// Approximate heap footprint of the materialized relations, in bytes.
+  /// Grows as queries touch new predicates; the document cache re-reads it
+  /// on every hit to keep its byte accounting honest. O(1) — the counter is
+  /// maintained incrementally at materialization time, so re-reading it on
+  /// the serving hot path costs one mutex acquisition, not a heap walk.
+  int64_t ApproxBytes() const;
+
  private:
+  /// Requires mu_ held.
   const Relation* Materialize(const std::string& name, int32_t arity) const;
 
   const tree::Tree& tree_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<std::pair<std::string, int32_t>, Relation,
                              RelKeyHash>
       cache_;
+  mutable int64_t cached_bytes_ = 0;  // Σ ApproxBytes of cache_ entries
 };
 
 /// Name of the label predicate for label `l` ("label_" + l).

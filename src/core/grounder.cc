@@ -1,6 +1,8 @@
 #include "src/core/grounder.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "src/core/database.h"
 #include "src/core/validate.h"
@@ -68,8 +70,9 @@ tree::NodeId ApplyBackward(const tree::Tree& t, const RelKind& r,
   return tree::kNoNode;
 }
 
-/// Unary tree predicates, pre-classified so the per-node hot loop compares
-/// interned label ids instead of strings.
+/// Unary tree predicates, pre-classified at plan-compile time. Label ids are
+/// interned per tree, so the plan keeps the label *name* and each evaluation
+/// resolves it once against its tree's alphabet (GroundArena::unary_labels).
 enum class UnaryKind : uint8_t {
   kRoot,
   kLeaf,
@@ -78,46 +81,14 @@ enum class UnaryKind : uint8_t {
   kLabel,
 };
 
-struct UnarySpec {
-  UnaryKind kind;
-  tree::LabelId label = util::kInvalidSymbol;  // for kLabel
-};
-
-bool ClassifyUnary(const tree::Tree& t, const std::string& name,
-                   UnarySpec* out) {
-  if (name == "root") {
-    out->kind = UnaryKind::kRoot;
-    return true;
-  }
-  if (name == "leaf") {
-    out->kind = UnaryKind::kLeaf;
-    return true;
-  }
-  if (name == "lastsibling") {
-    out->kind = UnaryKind::kLastSibling;
-    return true;
-  }
-  if (name == "firstsibling") {
-    out->kind = UnaryKind::kFirstSibling;
-    return true;
-  }
-  std::string label = LabelFromPredName(name);
-  if (label.empty()) return false;
-  out->kind = UnaryKind::kLabel;
-  // A label absent from the tree's alphabet interns to kInvalidSymbol, which
-  // no node carries — the empty relation of Remark 2.2.
-  out->label = t.FindLabel(label);
-  return true;
-}
-
-bool CheckUnaryTreePred(const tree::Tree& t, const UnarySpec& spec,
-                        tree::NodeId n) {
-  switch (spec.kind) {
+bool CheckUnaryTreePred(const tree::Tree& t, UnaryKind kind,
+                        tree::LabelId label, tree::NodeId n) {
+  switch (kind) {
     case UnaryKind::kRoot: return t.IsRoot(n);
     case UnaryKind::kLeaf: return t.IsLeaf(n);
     case UnaryKind::kLastSibling: return t.IsLastSibling(n);
     case UnaryKind::kFirstSibling: return t.IsFirstSibling(n);
-    case UnaryKind::kLabel: return t.label(n) == spec.label;
+    case UnaryKind::kLabel: return t.label(n) == label;
   }
   return false;
 }
@@ -150,127 +121,218 @@ bool GroundableOverTree(const Program& program) {
   return true;
 }
 
-/// Grounds a monadic program over a tree into a Horn instance and solves it.
-class GroundedEvaluator {
- public:
-  GroundedEvaluator(const Program& program, const tree::Tree& t)
-      : program_(program),
-        tree_(t),
-        n_(t.size()),
-        intensional_(program.IntensionalMask()) {}
+/// The compiled, tree-independent form of a groundable program. Everything
+/// here is derived from the program alone; evaluation replays it per tree.
+struct GroundPlan::Impl {
+  // Predicate metadata (copied — the plan outlives the source Program).
+  int32_t num_preds = 0;
+  PredId query_pred = -1;
+  std::vector<bool> intensional;
+  std::vector<int8_t> pred_arity;
 
-  util::Result<EvalResult> Run(GroundStats* stats) {
-    if (!GroundableOverTree(program_)) {
-      return util::Status::FailedPrecondition(
-          "program not groundable over the functional tree schema; normalize "
-          "with the TMNF pipeline or use the semi-naive engine");
-    }
-    ClassifyPredicates();
-    AssignAtomIds();
-    for (const Rule& rule : program_.rules()) GroundRule(rule);
+  // Atom-id layout, statically assigned: unary IDB atoms occupy
+  // [0, num_unary·n); nullary IDB atoms [num_unary·n, +num_nullary); bridge
+  // atoms (connectedness split, proof step 1) [.., +num_bridges). Only the
+  // unary block scales with the tree.
+  std::vector<int32_t> unary_index;   // per pred, -1 or dense unary slot
+  std::vector<int32_t> nullary_slot;  // per pred, -1 or dense nullary slot
+  int32_t num_unary = 0;
+  int32_t num_nullary = 0;
+  int32_t num_bridges = 0;
 
-    flat_.num_atoms = next_atom_id_;
-    std::vector<bool> model = SolveHorn(flat_);
+  // Extensional classification (per EDB PredId of the given arity).
+  struct UnaryPlanSpec {
+    UnaryKind kind = UnaryKind::kRoot;
+    std::string label;  // for kLabel
+  };
+  std::vector<UnaryPlanSpec> unary_specs;
+  std::vector<RelKind> binary_specs;
 
-    EvalResult result;
-    result.query_pred_ = program_.query_pred();
-    result.facts_.resize(program_.preds().size());
-    for (PredId p = 0; p < program_.preds().size(); ++p) {
-      if (!intensional_[p]) continue;
-      EvalResult::PredFacts& f = result.facts_[p];
-      if (program_.preds().Arity(p) == 1) {
-        NodeSet members(std::max(n_, 1));
-        for (tree::NodeId node = 0; node < n_; ++node) {
-          if (model[UnaryAtomId(p, node)]) {
-            members.Insert(node);
-            ++result.num_derived_;
-          }
-        }
-        if (!members.empty()) {
-          f.arity = 1;
-          f.unary = std::move(members);
-        }
-      } else {
-        if (model[NullaryAtomId(p)]) {
-          f.arity = 0;
-          f.nullary_true = true;
-          ++result.num_derived_;
-        }
-      }
+  /// One propagation step of a component schedule (spanning-tree assignment
+  /// or consistency check, BFS order from the anchor).
+  struct Step {
+    bool assign;  // true: binding[to] = f(from); false: f(from) == binding[to]
+    VarId from, to;
+    RelKind rel;
+    bool forward;
+  };
+
+  /// The compiled schedule of one variable component of one rule.
+  struct ComponentPlan {
+    VarId anchor = -1;
+    int32_t num_vars = 0;  // size of the component (for the BFS invariant)
+    std::vector<Step> steps;
+    std::vector<std::pair<PredId, VarId>> unary_checks;  // EDB arity-1
+    std::vector<std::pair<PredId, VarId>> idb_lits;      // IDB arity-1
+    std::vector<Atom> residual;  // constant-carrying binary EDB/IDB atoms
+    int32_t bridge_slot = -1;    // >= 0 iff this is a bridge component
+  };
+
+  struct RulePlan {
+    PredId head_pred = -1;
+    bool head_has_arg = false;  // arity-1 head
+    bool head_is_var = false;
+    int32_t head_const = -1;  // when arity-1 head with a constant
+    VarId head_var = -1;      // when arity-1 head with a variable
+    int32_t num_vars = 0;
+    std::vector<Atom> ground_atoms;  // variable-free body atoms
+    std::vector<ComponentPlan> bridges;
+    std::optional<ComponentPlan> head_comp;  // nullopt: const/nullary head
+  };
+  std::vector<RulePlan> rules;
+};
+
+GroundPlan::GroundPlan(std::unique_ptr<const Impl> impl)
+    : impl_(std::move(impl)) {}
+GroundPlan::GroundPlan(GroundPlan&&) noexcept = default;
+GroundPlan& GroundPlan::operator=(GroundPlan&&) noexcept = default;
+GroundPlan::~GroundPlan() = default;
+
+namespace {
+
+/// Compiles one variable component: atom partition + BFS schedule.
+GroundPlan::Impl::ComponentPlan CompileComponent(
+    const GroundPlan::Impl& plan, const Rule& rule,
+    const std::vector<int32_t>& comp, int32_t c,
+    const std::vector<const Atom*>& atoms) {
+  GroundPlan::Impl::ComponentPlan out;
+
+  std::vector<VarId> vars;
+  for (VarId v = 0; v < rule.num_vars(); ++v) {
+    if (comp[v] == c) vars.push_back(v);
+  }
+  MD_CHECK(!vars.empty());
+  out.num_vars = static_cast<int32_t>(vars.size());
+  out.anchor = vars[0];
+
+  struct DirEdge {
+    VarId from, to;
+    RelKind rel;
+    bool forward;
+    int32_t atom;
+  };
+  std::vector<std::vector<DirEdge>> adj(rule.num_vars());
+  for (size_t ai = 0; ai < atoms.size(); ++ai) {
+    const Atom* a = atoms[ai];
+    if (plan.intensional[a->pred]) {
+      // Monadic + in this component ⇒ one argument, and it is a variable.
+      MD_DCHECK(a->args.size() == 1 && a->args[0].is_var());
+      out.idb_lits.emplace_back(a->pred, a->args[0].value);
+    } else if (a->args.size() == 1) {
+      MD_DCHECK(a->args[0].is_var());
+      out.unary_checks.emplace_back(a->pred, a->args[0].value);
+    } else if (a->args[0].is_var() && a->args[1].is_var()) {
+      const RelKind& kind = plan.binary_specs[a->pred];
+      VarId x = a->args[0].value, y = a->args[1].value;
+      adj[x].push_back({x, y, kind, true, static_cast<int32_t>(ai)});
+      adj[y].push_back({y, x, kind, false, static_cast<int32_t>(ai)});
+    } else {
+      out.residual.push_back(*a);
     }
-    result.num_iterations_ = 1;
-    if (stats != nullptr) {
-      stats->num_clauses = flat_.num_clauses();
-      stats->num_atoms = next_atom_id_;
-      stats->num_literals = flat_.NumLiterals();
-    }
-    return result;
   }
 
- private:
-  /// Resolves every extensional predicate's name to a UnarySpec / RelKind
-  /// once, so the per-node grounding loops never touch strings.
-  /// Classification depends only on the predicate, not the occurrence.
-  void ClassifyPredicates() {
-    const PredicateTable& preds = program_.preds();
-    unary_specs_.resize(preds.size());
-    binary_specs_.resize(preds.size());
-    for (PredId p = 0; p < preds.size(); ++p) {
-      if (intensional_[p]) continue;
-      const std::string& name = preds.Name(p);
+  // BFS from the anchor: spanning-tree assignments + consistency checks.
+  // Each binary atom is validated exactly once (the tree relations are
+  // injective partial functions, so the reverse direction needs no re-check).
+  std::vector<bool> atom_done(atoms.size(), false);
+  std::vector<bool> assigned(rule.num_vars(), false);
+  assigned[out.anchor] = true;
+  std::vector<VarId> queue{out.anchor};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    for (const DirEdge& e : adj[queue[qi]]) {
+      if (!assigned[e.to]) {
+        out.steps.push_back({true, e.from, e.to, e.rel, e.forward});
+        assigned[e.to] = true;
+        atom_done[e.atom] = true;
+        queue.push_back(e.to);
+      } else if (!atom_done[e.atom]) {
+        out.steps.push_back({false, e.from, e.to, e.rel, e.forward});
+        atom_done[e.atom] = true;
+      }
+    }
+  }
+  MD_DCHECK(queue.size() == vars.size());  // component is connected
+  return out;
+}
+
+}  // namespace
+
+util::Result<GroundPlan> GroundPlan::Compile(const Program& program) {
+  if (!GroundableOverTree(program)) {
+    return util::Status::FailedPrecondition(
+        "program not groundable over the functional tree schema; normalize "
+        "with the TMNF pipeline or use the semi-naive engine");
+  }
+  auto impl = std::make_unique<Impl>();
+  const PredicateTable& preds = program.preds();
+  impl->num_preds = preds.size();
+  impl->query_pred = program.query_pred();
+  impl->intensional = program.IntensionalMask();
+  impl->pred_arity.resize(preds.size());
+  impl->unary_specs.resize(preds.size());
+  impl->binary_specs.resize(preds.size());
+  impl->unary_index.assign(preds.size(), -1);
+  impl->nullary_slot.assign(preds.size(), -1);
+
+  for (PredId p = 0; p < preds.size(); ++p) {
+    impl->pred_arity[p] = static_cast<int8_t>(preds.Arity(p));
+    if (impl->intensional[p]) {
       if (preds.Arity(p) == 1) {
-        ClassifyUnary(tree_, name, &unary_specs_[p]);
-      } else if (preds.Arity(p) == 2) {
-        ClassifyBinary(name, &binary_specs_[p]);
+        impl->unary_index[p] = impl->num_unary++;
+      } else {
+        impl->nullary_slot[p] = impl->num_nullary++;
       }
-      // Unclassifiable predicates never occur in a body of a groundable
-      // program (GroundableOverTree), so their specs are never read.
+      continue;
+    }
+    // Extensional classification. Unclassifiable predicates never occur in a
+    // body of a groundable program, so their specs are never read.
+    const std::string& name = preds.Name(p);
+    if (preds.Arity(p) == 1) {
+      Impl::UnaryPlanSpec& spec = impl->unary_specs[p];
+      if (name == "root") {
+        spec.kind = UnaryKind::kRoot;
+      } else if (name == "leaf") {
+        spec.kind = UnaryKind::kLeaf;
+      } else if (name == "lastsibling") {
+        spec.kind = UnaryKind::kLastSibling;
+      } else if (name == "firstsibling") {
+        spec.kind = UnaryKind::kFirstSibling;
+      } else {
+        std::string label = LabelFromPredName(name);
+        if (!label.empty()) {
+          spec.kind = UnaryKind::kLabel;
+          spec.label = std::move(label);
+        }
+      }
+    } else if (preds.Arity(p) == 2) {
+      ClassifyBinary(name, &impl->binary_specs[p]);
     }
   }
 
-  void AssignAtomIds() {
-    unary_index_.assign(program_.preds().size(), -1);
-    nullary_index_.assign(program_.preds().size(), -1);
-    int32_t num_unary = 0;
-    for (PredId p = 0; p < program_.preds().size(); ++p) {
-      if (!intensional_[p]) continue;
-      if (program_.preds().Arity(p) == 1) unary_index_[p] = num_unary++;
+  // Per-rule compilation (proof steps 1–2 of Theorem 4.2, program side).
+  for (const Rule& rule : program.rules()) {
+    Impl::RulePlan rp;
+    rp.head_pred = rule.head.pred;
+    rp.num_vars = rule.num_vars();
+    if (!rule.head.args.empty()) {
+      rp.head_has_arg = true;
+      rp.head_is_var = rule.head.args[0].is_var();
+      if (rp.head_is_var) {
+        rp.head_var = rule.head.args[0].value;
+      } else {
+        rp.head_const = rule.head.args[0].value;
+      }
     }
-    next_atom_id_ = num_unary * n_;
-    for (PredId p = 0; p < program_.preds().size(); ++p) {
-      if (!intensional_[p]) continue;
-      if (program_.preds().Arity(p) == 0) nullary_index_[p] = next_atom_id_++;
-    }
-  }
 
-  int32_t UnaryAtomId(PredId p, tree::NodeId node) const {
-    MD_DCHECK(unary_index_[p] >= 0);
-    return unary_index_[p] * n_ + node;
-  }
-  int32_t NullaryAtomId(PredId p) const {
-    MD_DCHECK(nullary_index_[p] >= 0);
-    return nullary_index_[p];
-  }
-  int32_t FreshAtom() { return next_atom_id_++; }
-
-  /// Splits the rule into variable components (proof step 1) and grounds each
-  /// (proof step 2). Components not containing the head variable become
-  /// propositional bridge atoms.
-  void GroundRule(const Rule& rule) {
-    std::vector<int32_t> comp = RuleVarComponents(program_, rule);
+    std::vector<int32_t> comp = RuleVarComponents(program, rule);
     int32_t num_comps =
         rule.num_vars() == 0
             ? 0
             : 1 + *std::max_element(comp.begin(), comp.end());
-
     int32_t head_comp = -1;
-    if (!rule.head.args.empty() && rule.head.args[0].is_var()) {
-      head_comp = comp[rule.head.args[0].value];
-    }
+    if (rp.head_has_arg && rp.head_is_var) head_comp = comp[rp.head_var];
 
-    // Atoms per component; ground atoms (no variables) go to the main rule.
     std::vector<std::vector<const Atom*>> comp_atoms(num_comps);
-    std::vector<const Atom*> ground_atoms;
     for (const Atom& a : rule.body) {
       int32_t c = -1;
       for (const Term& t : a.args) {
@@ -280,138 +342,156 @@ class GroundedEvaluator {
         }
       }
       if (c < 0) {
-        ground_atoms.push_back(&a);
+        rp.ground_atoms.push_back(a);
       } else {
         comp_atoms[c].push_back(&a);
       }
     }
 
-    // Grounding of the fully ground part: EDB atoms checked now; IDB atoms
-    // become Horn literals shared by every instantiation.
-    std::vector<int32_t> shared_body;
-    for (const Atom* a : ground_atoms) {
-      if (!EmitGroundAtom(*a, /*binding=*/nullptr, &shared_body)) return;
-    }
-
-    // Bridge components.
     for (int32_t c = 0; c < num_comps; ++c) {
-      if (c == head_comp) continue;
-      int32_t bridge = FreshAtom();
-      GroundComponent(rule, comp, c, comp_atoms[c],
-                      /*head_pred=*/-1, bridge, /*extra_body=*/{});
-      shared_body.push_back(bridge);
-    }
-
-    // Main part.
-    if (head_comp >= 0) {
-      GroundComponent(rule, comp, head_comp, comp_atoms[head_comp],
-                      rule.head.pred, /*fixed_head_atom=*/-1, shared_body);
-    } else {
-      // Ground or propositional head: a single clause.
-      int32_t head_atom;
-      if (rule.head.args.empty()) {
-        head_atom = NullaryAtomId(rule.head.pred);
+      Impl::ComponentPlan cp =
+          CompileComponent(*impl, rule, comp, c, comp_atoms[c]);
+      if (c == head_comp) {
+        rp.head_comp = std::move(cp);
       } else {
-        int32_t c = rule.head.args[0].value;  // constant (safety: no free var)
-        if (c < 0 || c >= n_) return;
-        head_atom = UnaryAtomId(rule.head.pred, c);
+        cp.bridge_slot = impl->num_bridges++;
+        rp.bridges.push_back(std::move(cp));
       }
-      flat_.body_lits.insert(flat_.body_lits.end(), shared_body.begin(),
-                             shared_body.end());
-      flat_.Commit(head_atom);
     }
+    impl->rules.push_back(std::move(rp));
   }
+  return GroundPlan(std::move(impl));
+}
 
-  /// Grounds one variable component over all anchor nodes. If head_pred >= 0,
-  /// emits clauses with head head_pred(binding of the rule's head variable);
-  /// otherwise emits clauses with the fixed propositional head atom.
-  ///
-  /// The component's structure is identical for every anchor, so the
-  /// propagation is compiled once into a step schedule (spanning-tree
-  /// assignments + consistency checks, BFS order from the anchor) and the
-  /// per-node loop just replays it. Each binary atom is validated exactly
-  /// once: firstchild / nextsibling / child_k are injective partial
-  /// functions, so f(x) = y and f⁻¹(y) = x are equivalent and the second
-  /// direction needs no re-check.
-  void GroundComponent(const Rule& rule, const std::vector<int32_t>& comp,
-                       int32_t c, const std::vector<const Atom*>& atoms,
-                       PredId head_pred, int32_t fixed_head_atom,
-                       const std::vector<int32_t>& extra_body) {
-    // Collect the component's variables.
-    std::vector<VarId> vars;
-    for (VarId v = 0; v < rule.num_vars(); ++v) {
-      if (comp[v] == c) vars.push_back(v);
-    }
-    MD_CHECK(!vars.empty());
+/// Per-tree replay of a GroundPlan: grounds every rule by schedule replay,
+/// emits clauses into the arena, solves, and assembles the EvalResult.
+/// (Named GroundedEvaluator to keep the EvalResult friendship.)
+class GroundedEvaluator {
+ public:
+  GroundedEvaluator(const GroundPlan::Impl& plan, const tree::Tree& t,
+                    GroundArena& arena)
+      : plan_(plan), tree_(t), arena_(arena), n_(t.size()) {}
 
-    // Partition the atoms: var-var binary atoms drive propagation; unary EDB
-    // atoms become pre-classified spec checks; unary IDB atoms become Horn
-    // literals; constant-carrying binary atoms stay on a residual check path.
-    struct DirEdge {
-      VarId from, to;
-      RelKind rel;
-      bool forward;  // true: to = f(from); false: to = f^{-1}(from)
-      int32_t atom;
-    };
-    std::vector<std::vector<DirEdge>> adj(rule.num_vars());
-    std::vector<std::pair<UnarySpec, VarId>> unary_checks;
-    std::vector<std::pair<PredId, VarId>> idb_lits;
-    std::vector<const Atom*> residual;
-    for (size_t ai = 0; ai < atoms.size(); ++ai) {
-      const Atom* a = atoms[ai];
-      if (intensional_[a->pred]) {
-        // Monadic + in this component ⇒ one argument, and it is a variable.
-        MD_DCHECK(a->args.size() == 1 && a->args[0].is_var());
-        idb_lits.emplace_back(a->pred, a->args[0].value);
-      } else if (a->args.size() == 1) {
-        MD_DCHECK(a->args[0].is_var());
-        unary_checks.emplace_back(unary_specs_[a->pred], a->args[0].value);
-      } else if (a->args[0].is_var() && a->args[1].is_var()) {
-        const RelKind& kind = binary_specs_[a->pred];
-        VarId x = a->args[0].value, y = a->args[1].value;
-        adj[x].push_back({x, y, kind, true, static_cast<int32_t>(ai)});
-        adj[y].push_back({y, x, kind, false, static_cast<int32_t>(ai)});
-      } else {
-        residual.push_back(a);
+  util::Result<EvalResult> Run(GroundStats* stats) {
+    arena_.flat.Clear();
+    nullary_base_ = plan_.num_unary * n_;
+    bridge_base_ = nullary_base_ + plan_.num_nullary;
+    arena_.flat.num_atoms = bridge_base_ + plan_.num_bridges;
+
+    // Per-tree label resolution: the only tree-dependent compile work. A
+    // label absent from this tree's alphabet resolves to kInvalidSymbol,
+    // which no node carries — the empty relation of Remark 2.2.
+    arena_.unary_labels.assign(plan_.num_preds, util::kInvalidSymbol);
+    for (PredId p = 0; p < plan_.num_preds; ++p) {
+      if (!plan_.intensional[p] && plan_.pred_arity[p] == 1 &&
+          plan_.unary_specs[p].kind == UnaryKind::kLabel) {
+        arena_.unary_labels[p] = tree_.FindLabel(plan_.unary_specs[p].label);
       }
     }
 
-    // Compile the schedule: BFS from the anchor over the directed edges.
-    struct Step {
-      bool assign;  // true: binding[to] = f(from); false: f(from) == binding[to]
-      VarId from, to;
-      RelKind rel;
-      bool forward;
-    };
-    std::vector<Step> steps;
-    std::vector<bool> atom_done(atoms.size(), false);
-    std::vector<bool> assigned(rule.num_vars(), false);
-    const VarId anchor = vars[0];
-    assigned[anchor] = true;
-    std::vector<VarId> queue{anchor};
-    for (size_t qi = 0; qi < queue.size(); ++qi) {
-      for (const DirEdge& e : adj[queue[qi]]) {
-        if (!assigned[e.to]) {
-          steps.push_back({true, e.from, e.to, e.rel, e.forward});
-          assigned[e.to] = true;
-          atom_done[e.atom] = true;
-          queue.push_back(e.to);
-        } else if (!atom_done[e.atom]) {
-          steps.push_back({false, e.from, e.to, e.rel, e.forward});
-          atom_done[e.atom] = true;
+    for (const GroundPlan::Impl::RulePlan& rp : plan_.rules) GroundRule(rp);
+
+    const std::vector<bool>& model = SolveHorn(arena_.flat, &arena_.horn);
+
+    EvalResult result;
+    result.query_pred_ = plan_.query_pred;
+    result.facts_.resize(plan_.num_preds);
+    for (PredId p = 0; p < plan_.num_preds; ++p) {
+      if (!plan_.intensional[p]) continue;
+      EvalResult::PredFacts& f = result.facts_[p];
+      if (plan_.pred_arity[p] == 1) {
+        NodeSet members(std::max(n_, 1));
+        const int32_t base = plan_.unary_index[p] * n_;
+        for (tree::NodeId node = 0; node < n_; ++node) {
+          if (model[base + node]) {
+            members.Insert(node);
+            ++result.num_derived_;
+          }
+        }
+        if (!members.empty()) {
+          f.arity = 1;
+          f.unary = std::move(members);
+        }
+      } else {
+        if (model[nullary_base_ + plan_.nullary_slot[p]]) {
+          f.arity = 0;
+          f.nullary_true = true;
+          ++result.num_derived_;
         }
       }
     }
-    MD_DCHECK(queue.size() == vars.size());  // component is connected
+    result.num_iterations_ = 1;
+    if (stats != nullptr) {
+      stats->num_clauses = arena_.flat.num_clauses();
+      stats->num_atoms = arena_.flat.num_atoms;
+      stats->num_literals = arena_.flat.NumLiterals();
+    }
+    return result;
+  }
 
-    const VarId head_var = head_pred >= 0 ? rule.head.args[0].value : -1;
-    std::vector<tree::NodeId> binding(rule.num_vars(), tree::kNoNode);
-    std::vector<int32_t> residual_scratch;
+ private:
+  int32_t UnaryAtomId(PredId p, tree::NodeId node) const {
+    MD_DCHECK(plan_.unary_index[p] >= 0);
+    return plan_.unary_index[p] * n_ + node;
+  }
+  int32_t NullaryAtomId(PredId p) const {
+    MD_DCHECK(plan_.nullary_slot[p] >= 0);
+    return nullary_base_ + plan_.nullary_slot[p];
+  }
+
+  void GroundRule(const GroundPlan::Impl::RulePlan& rp) {
+    // Grounding of the fully ground part: EDB atoms checked now; IDB atoms
+    // become Horn literals shared by every instantiation.
+    arena_.shared_body.clear();
+    for (const Atom& a : rp.ground_atoms) {
+      if (!EmitGroundAtom(a, nullptr, &arena_.shared_body)) return;
+    }
+
+    // Bridge components, then (head atoms are statically assigned) the
+    // bridge literals join the shared body of the main part.
+    for (const GroundPlan::Impl::ComponentPlan& cp : rp.bridges) {
+      GroundComponent(rp, cp, /*head_pred=*/-1,
+                      bridge_base_ + cp.bridge_slot, /*extra_body=*/{});
+      arena_.shared_body.push_back(bridge_base_ + cp.bridge_slot);
+    }
+
+    if (rp.head_comp.has_value()) {
+      GroundComponent(rp, *rp.head_comp, rp.head_pred, /*fixed_head_atom=*/-1,
+                      arena_.shared_body);
+    } else {
+      // Ground or propositional head: a single clause.
+      int32_t head_atom;
+      if (!rp.head_has_arg) {
+        head_atom = NullaryAtomId(rp.head_pred);
+      } else {
+        if (rp.head_const < 0 || rp.head_const >= n_) return;
+        head_atom = UnaryAtomId(rp.head_pred, rp.head_const);
+      }
+      arena_.flat.body_lits.insert(arena_.flat.body_lits.end(),
+                                   arena_.shared_body.begin(),
+                                   arena_.shared_body.end());
+      arena_.flat.Commit(head_atom);
+    }
+  }
+
+  /// Replays one component schedule over all anchor nodes. If head_pred >= 0,
+  /// emits clauses with head head_pred(binding of the rule's head variable);
+  /// otherwise with the fixed (bridge) head atom. `extra_body` is copied into
+  /// every emitted clause. Note: `extra_body` must not alias arena_ buffers
+  /// that this function mutates (it only appends to flat.body_lits, which is
+  /// disjoint from shared_body).
+  void GroundComponent(const GroundPlan::Impl::RulePlan& rp,
+                       const GroundPlan::Impl::ComponentPlan& cp,
+                       PredId head_pred, int32_t fixed_head_atom,
+                       const std::vector<int32_t>& extra_body) {
+    FlatHornInstance& flat = arena_.flat;
+    std::vector<tree::NodeId>& binding = arena_.binding;
+    binding.assign(std::max(rp.num_vars, 1), tree::kNoNode);
 
     for (tree::NodeId node = 0; node < n_; ++node) {
-      binding[anchor] = node;
+      binding[cp.anchor] = node;
       bool failed = false;
-      for (const Step& s : steps) {
+      for (const GroundPlan::Impl::Step& s : cp.steps) {
         const tree::NodeId target =
             s.forward ? ApplyForward(tree_, s.rel, binding[s.from])
                       : ApplyBackward(tree_, s.rel, binding[s.from]);
@@ -427,30 +507,35 @@ class GroundedEvaluator {
         }
       }
       if (failed) continue;
-      for (const auto& [spec, v] : unary_checks) {
-        if (!CheckUnaryTreePred(tree_, spec, binding[v])) {
+      for (const auto& [p, v] : cp.unary_checks) {
+        if (!CheckUnaryTreePred(tree_, plan_.unary_specs[p].kind,
+                                arena_.unary_labels[p], binding[v])) {
           failed = true;
           break;
         }
       }
       if (failed) continue;
-      for (const Atom* a : residual) {
-        residual_scratch.clear();
-        if (!EmitGroundAtom(*a, &binding, &residual_scratch)) {
+      for (const Atom& a : cp.residual) {
+        arena_.residual_body.clear();
+        if (!EmitGroundAtom(a, &binding, &arena_.residual_body)) {
           failed = true;
           break;
         }
+        // Residual atoms are EDB-only (CompileComponent routes intensional
+        // atoms to idb_lits), so EmitGroundAtom must emit no literals here —
+        // anything it pushed would be silently dropped from the clause.
+        MD_DCHECK(arena_.residual_body.empty());
       }
       if (failed) continue;
 
       // Emit the clause straight into the flat arena.
-      flat_.body_lits.insert(flat_.body_lits.end(), extra_body.begin(),
-                             extra_body.end());
-      for (const auto& [p, v] : idb_lits) {
-        flat_.body_lits.push_back(UnaryAtomId(p, binding[v]));
+      flat.body_lits.insert(flat.body_lits.end(), extra_body.begin(),
+                            extra_body.end());
+      for (const auto& [p, v] : cp.idb_lits) {
+        flat.body_lits.push_back(UnaryAtomId(p, binding[v]));
       }
-      flat_.Commit(head_pred >= 0 ? UnaryAtomId(head_pred, binding[head_var])
-                                  : fixed_head_atom);
+      flat.Commit(head_pred >= 0 ? UnaryAtomId(head_pred, binding[rp.head_var])
+                                 : fixed_head_atom);
     }
   }
 
@@ -466,7 +551,7 @@ class GroundedEvaluator {
       }
       return t.value;
     };
-    if (intensional_[a.pred]) {
+    if (plan_.intensional[a.pred]) {
       if (a.args.empty()) {
         body->push_back(NullaryAtomId(a.pred));
       } else {
@@ -479,32 +564,39 @@ class GroundedEvaluator {
     if (a.args.size() == 1) {
       int32_t v = value_of(a.args[0]);
       if (v < 0 || v >= n_) return false;
-      return CheckUnaryTreePred(tree_, unary_specs_[a.pred], v);
+      return CheckUnaryTreePred(tree_, plan_.unary_specs[a.pred].kind,
+                                arena_.unary_labels[a.pred], v);
     }
     MD_CHECK(a.args.size() == 2);
     int32_t x = value_of(a.args[0]);
     int32_t y = value_of(a.args[1]);
     if (x < 0 || x >= n_ || y < 0 || y >= n_) return false;
-    return ApplyForward(tree_, binary_specs_[a.pred], x) == y;
+    return ApplyForward(tree_, plan_.binary_specs[a.pred], x) == y;
   }
 
-  const Program& program_;
+  const GroundPlan::Impl& plan_;
   const tree::Tree& tree_;
+  GroundArena& arena_;
   int32_t n_;
-  std::vector<bool> intensional_;
-  std::vector<int32_t> unary_index_;
-  std::vector<int32_t> nullary_index_;
-  std::vector<UnarySpec> unary_specs_;   // per EDB PredId, arity 1
-  std::vector<RelKind> binary_specs_;    // per EDB PredId, arity 2
-  int32_t next_atom_id_ = 0;
-  FlatHornInstance flat_;
+  int32_t nullary_base_ = 0;
+  int32_t bridge_base_ = 0;
 };
+
+util::Result<EvalResult> EvaluateGrounded(const GroundPlan& plan,
+                                          const tree::Tree& t,
+                                          GroundArena* arena,
+                                          GroundStats* stats) {
+  GroundArena local;
+  GroundedEvaluator evaluator(*plan.impl_, t, arena != nullptr ? *arena
+                                                               : local);
+  return evaluator.Run(stats);
+}
 
 util::Result<EvalResult> EvaluateGrounded(const Program& program,
                                           const tree::Tree& t,
                                           GroundStats* stats) {
-  GroundedEvaluator evaluator(program, t);
-  return evaluator.Run(stats);
+  MD_ASSIGN_OR_RETURN(GroundPlan plan, GroundPlan::Compile(program));
+  return EvaluateGrounded(plan, t, nullptr, stats);
 }
 
 util::Result<EvalResult> EvaluateOnTree(const Program& program,

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "src/core/ast.h"
 #include "src/core/eval.h"
 #include "src/core/horn.h"
@@ -44,6 +47,63 @@ bool GroundableOverTree(const Program& program);
 /// FailedPrecondition if !GroundableOverTree(program).
 util::Result<EvalResult> EvaluateGrounded(const Program& program,
                                           const tree::Tree& t,
+                                          GroundStats* stats = nullptr);
+
+// --- two-phase evaluation (wrapper-serving workloads) -----------------------
+//
+// A wrapper workload evaluates one fixed program over a stream of documents.
+// Everything the Theorem 4.2 evaluator derives from the *program* — the
+// connectedness split, the per-component propagation schedules, the
+// extensional-predicate classification, the atom-id layout — is identical for
+// every tree. GroundPlan captures that work once; EvaluateGrounded(plan, t)
+// replays it per tree in O(|P|·|dom|), with only a per-tree label-id
+// resolution (labels are interned per tree) on top.
+
+/// Reusable per-worker evaluation state: the CSR clause arena, the Horn
+/// solver buffers, and the grounding scratch vectors. Cleared — capacity
+/// kept — between evaluations, so a worker serving many similar documents
+/// performs no arena allocations after warm-up. Not thread-safe: use one
+/// arena per worker thread.
+struct GroundArena {
+  FlatHornInstance flat;
+  HornSolveScratch horn;
+  std::vector<tree::NodeId> binding;
+  std::vector<int32_t> shared_body;
+  std::vector<int32_t> residual_body;
+  std::vector<tree::LabelId> unary_labels;  // per-PredId, resolved per tree
+};
+
+/// The program-level compilation of the grounded evaluator. Immutable after
+/// Compile and safe to share between concurrent evaluations (each with its
+/// own GroundArena).
+class GroundPlan {
+ public:
+  /// Compiles `program`. Fails with FailedPrecondition if
+  /// !GroundableOverTree(program). The plan is self-contained (copies what it
+  /// needs); `program` may be destroyed afterwards.
+  static util::Result<GroundPlan> Compile(const Program& program);
+
+  GroundPlan(GroundPlan&&) noexcept;
+  GroundPlan& operator=(GroundPlan&&) noexcept;
+  ~GroundPlan();
+
+  struct Impl;
+
+ private:
+  explicit GroundPlan(std::unique_ptr<const Impl> impl);
+  std::unique_ptr<const Impl> impl_;
+
+  friend util::Result<EvalResult> EvaluateGrounded(const GroundPlan&,
+                                                   const tree::Tree&,
+                                                   GroundArena*, GroundStats*);
+};
+
+/// Replays a compiled plan over one tree. `arena` may be nullptr (a local
+/// arena is used); passing a per-worker arena amortizes all clause-arena and
+/// solver allocations across documents.
+util::Result<EvalResult> EvaluateGrounded(const GroundPlan& plan,
+                                          const tree::Tree& t,
+                                          GroundArena* arena = nullptr,
                                           GroundStats* stats = nullptr);
 
 /// Evaluation engine selection for the facade below.

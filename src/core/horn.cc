@@ -18,12 +18,23 @@ std::vector<bool> SolveHorn(const HornInstance& instance) {
 }
 
 std::vector<bool> SolveHorn(const FlatHornInstance& instance) {
+  HornSolveScratch scratch;
+  SolveHorn(instance, &scratch);
+  return std::move(scratch.value);
+}
+
+const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
+                                   HornSolveScratch* scratch) {
   const int32_t n = instance.num_atoms;
   const int32_t num_clauses = static_cast<int32_t>(instance.heads.size());
-  std::vector<bool> value(n, false);
-  std::vector<int32_t> counter(num_clauses);
-  std::vector<int32_t> occ_start(static_cast<size_t>(n) + 1, 0);
-  std::vector<int32_t> queue;
+  std::vector<bool>& value = scratch->value;
+  value.assign(n, false);
+  std::vector<int32_t>& counter = scratch->counter;
+  counter.assign(num_clauses, 0);
+  std::vector<int32_t>& occ_start = scratch->occ_start;
+  occ_start.assign(static_cast<size_t>(n) + 1, 0);
+  std::vector<int32_t>& queue = scratch->queue;
+  queue.clear();
 
   for (int32_t ci = 0; ci < num_clauses; ++ci) {
     MD_DCHECK(instance.heads[ci] >= 0 && instance.heads[ci] < n);
@@ -40,9 +51,11 @@ std::vector<bool> SolveHorn(const FlatHornInstance& instance) {
     ++occ_start[a + 1];
   }
   for (int32_t a = 0; a < n; ++a) occ_start[a + 1] += occ_start[a];
-  std::vector<int32_t> occ(instance.body_lits.size());
+  std::vector<int32_t>& occ = scratch->occ;
+  occ.resize(instance.body_lits.size());
   {
-    std::vector<int32_t> fill(occ_start.begin(), occ_start.end() - 1);
+    std::vector<int32_t>& fill = scratch->fill;
+    fill.assign(occ_start.begin(), occ_start.end() - 1);
     for (int32_t ci = 0; ci < num_clauses; ++ci) {
       for (int32_t i = instance.body_start[ci];
            i < instance.body_start[ci + 1]; ++i) {

@@ -50,11 +50,33 @@ struct FlatHornInstance {
     body_start.push_back(static_cast<int32_t>(body_lits.size()));
   }
 
+  /// Empties the instance but keeps the arena capacity — wrapper-serving
+  /// workloads ground one program per page, and reusing the buffers makes
+  /// emission allocation-free after the first page.
+  void Clear() {
+    num_atoms = 0;
+    heads.clear();
+    body_start.assign(1, 0);
+    body_lits.clear();
+  }
+
   int64_t num_clauses() const { return static_cast<int64_t>(heads.size()); }
   int64_t NumLiterals() const {
     return static_cast<int64_t>(heads.size()) +
            static_cast<int64_t>(body_lits.size());
   }
+};
+
+/// Reusable buffers for SolveHorn. A worker that solves many instances of
+/// similar size (one per document) keeps one scratch and pays no solver
+/// allocations after the first call.
+struct HornSolveScratch {
+  std::vector<int32_t> counter;
+  std::vector<int32_t> occ_start;
+  std::vector<int32_t> occ;
+  std::vector<int32_t> fill;
+  std::vector<int32_t> queue;
+  std::vector<bool> value;
 };
 
 /// Computes the least model: value[a] == true iff atom a is derivable.
@@ -64,5 +86,11 @@ std::vector<bool> SolveHorn(const HornInstance& instance);
 /// Least model of a flat instance; same algorithm, zero per-clause
 /// allocations.
 std::vector<bool> SolveHorn(const FlatHornInstance& instance);
+
+/// Like SolveHorn(flat) but with caller-owned buffers: the model is left in
+/// scratch->value (and a reference to it is returned). No allocations once
+/// the scratch has warmed up to the instance size.
+const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
+                                   HornSolveScratch* scratch);
 
 }  // namespace mdatalog::core

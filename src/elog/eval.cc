@@ -40,14 +40,29 @@ namespace {
 /// Evaluation state: pattern extents as bitsets.
 class ElogEvaluator {
  public:
-  ElogEvaluator(const ElogProgram& program, const Tree& t, int64_t budget)
-      : program_(program), t_(t), budget_(budget), ranks_(t.PreorderRanks()) {
+  /// `patterns` (optional) is the precomputed program.Patterns() list — a
+  /// prepared program supplies it so repeated evaluation skips the per-page
+  /// rule walk along with the validation.
+  ElogEvaluator(const ElogProgram& program, const Tree& t, int64_t budget,
+                bool validate = true,
+                const std::vector<std::string>* patterns = nullptr)
+      : program_(program),
+        t_(t),
+        budget_(budget),
+        validate_(validate),
+        patterns_(patterns),
+        ranks_(t.PreorderRanks()) {
     extents_["root"] = std::set<NodeId>{t.root()};
   }
 
   util::Result<ElogResult> Run() {
-    MD_RETURN_NOT_OK(ValidateElog(program_));
-    for (const std::string& p : program_.Patterns()) extents_[p];  // create
+    if (validate_) MD_RETURN_NOT_OK(ValidateElog(program_));
+    const std::vector<std::string> own_patterns =
+        patterns_ == nullptr ? program_.Patterns() : std::vector<std::string>();
+    for (const std::string& p :
+         patterns_ != nullptr ? *patterns_ : own_patterns) {
+      extents_[p];  // create
+    }
     bool changed = true;
     while (changed) {
       changed = false;
@@ -251,6 +266,8 @@ class ElogEvaluator {
   const ElogProgram& program_;
   const Tree& t_;
   int64_t budget_;
+  bool validate_;
+  const std::vector<std::string>* patterns_;  // nullable
   std::vector<int32_t> ranks_;
   std::map<std::string, std::set<NodeId>> extents_;
 };
@@ -261,6 +278,23 @@ util::Result<ElogResult> EvaluateElog(const ElogProgram& program,
                                       const Tree& t,
                                       int64_t max_derivations) {
   return ElogEvaluator(program, t, max_derivations).Run();
+}
+
+util::Result<PreparedElogProgram> PreparedElogProgram::Prepare(
+    ElogProgram program) {
+  MD_RETURN_NOT_OK(ValidateElog(program));
+  PreparedElogProgram prepared;
+  prepared.patterns_ = program.Patterns();
+  prepared.program_ = std::move(program);
+  return prepared;
+}
+
+util::Result<ElogResult> EvaluateElog(const PreparedElogProgram& prepared,
+                                      const Tree& t,
+                                      int64_t max_derivations) {
+  return ElogEvaluator(prepared.program(), t, max_derivations,
+                       /*validate=*/false, &prepared.patterns())
+      .Run();
 }
 
 }  // namespace mdatalog::elog

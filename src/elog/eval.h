@@ -39,4 +39,31 @@ util::Result<ElogResult> EvaluateElog(const ElogProgram& program,
                                       const tree::Tree& t,
                                       int64_t max_derivations = 1 << 22);
 
+/// An Elog program validated once, for repeated evaluation over many
+/// documents: the structural checks of ValidateElog (and the pattern-list
+/// computation) run at Prepare, not per page. Immutable afterwards — safe to
+/// share across evaluation threads.
+class PreparedElogProgram {
+ public:
+  /// An empty prepared program (no rules, no patterns) — the state before
+  /// Prepare assigns a real one; kept public so owning structs are
+  /// default-constructible.
+  PreparedElogProgram() = default;
+
+  static util::Result<PreparedElogProgram> Prepare(ElogProgram program);
+
+  const ElogProgram& program() const { return program_; }
+  /// Pattern predicates in first-definition order.
+  const std::vector<std::string>& patterns() const { return patterns_; }
+
+ private:
+  ElogProgram program_;
+  std::vector<std::string> patterns_;
+};
+
+/// Evaluates a prepared program, skipping re-validation.
+util::Result<ElogResult> EvaluateElog(const PreparedElogProgram& prepared,
+                                      const tree::Tree& t,
+                                      int64_t max_derivations = 1 << 22);
+
 }  // namespace mdatalog::elog

@@ -1,0 +1,131 @@
+#include "src/runtime/document_cache.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mdatalog::runtime {
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+Hash128 HashBytes128(std::string_view bytes) {
+  // Two structurally different accumulators over one scan: `lo` is standard
+  // FNV-1a; `hi` is a multiply-xorshift (splitmix-style) stream, so a
+  // differential that collides the FNV polynomial does not transfer to the
+  // second state. Not cryptographic — a determined attacker with offline
+  // search could still target the pair — but the serving caches fail
+  // *wrong-answer-silently* on collision, so the bar sits deliberately far
+  // above a single 64-bit FNV. Swap in a keyed hash (SipHash) here if the
+  // deployment threat model includes adversarial collision search.
+  Hash128 h;
+  h.lo = 1469598103934665603ULL;
+  h.hi = 0x9e3779b97f4a7c15ULL;
+  for (unsigned char c : bytes) {
+    h.lo = (h.lo ^ c) * 1099511628211ULL;
+    uint64_t x = h.hi + 0x9e3779b97f4a7c15ULL + c;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h.hi = x ^ (x >> 27);
+  }
+  h.hi ^= static_cast<uint64_t>(bytes.size());  // length guard
+  return h;
+}
+
+util::Result<std::shared_ptr<const CachedDocument>> CachedDocument::Parse(
+    std::string_view html, const std::string& project_attr) {
+  MD_ASSIGN_OR_RETURN(html::Document doc, html::ParseHtml(html));
+  // Not make_shared: the constructor is private, and the TreeDatabase must
+  // be emplaced only once the trees sit at their final heap address.
+  std::shared_ptr<CachedDocument> cached(
+      new CachedDocument(std::move(doc)));
+  if (!project_attr.empty()) {
+    cached->projected_ =
+        html::ProjectAttributeIntoLabels(cached->doc_, project_attr);
+  }
+  cached->edb_.emplace(cached->tree());
+  cached->static_bytes_ = static_cast<int64_t>(sizeof(CachedDocument)) +
+                          cached->doc_.tree().ApproxBytes();
+  if (cached->projected_.has_value()) {
+    cached->static_bytes_ += cached->projected_->ApproxBytes();
+  }
+  return std::shared_ptr<const CachedDocument>(std::move(cached));
+}
+
+DocumentCache::DocumentCache(int64_t byte_budget)
+    : byte_budget_(byte_budget) {
+  stats_.byte_budget = byte_budget;
+}
+
+util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
+    std::string_view html, const std::string& project_attr) {
+  return GetOrParse(html, project_attr, HashBytes128(html));
+}
+
+util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
+    std::string_view html, const std::string& project_attr,
+    const Hash128& content_hash) {
+  Key key{content_hash, project_attr};
+  if (byte_budget_ <= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    // fall through to an uncached parse below (outside the lock)
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+      RefreshChargeAndEvict(lru_.begin());
+      return it->second->doc;
+    }
+    ++stats_.misses;
+  }
+
+  // Parse outside the lock: parsing is the expensive part, and concurrent
+  // misses on *different* documents must not serialize. Concurrent misses on
+  // the same document may parse twice; the second admission wins the map
+  // slot and the first copy dies with its callers — wasteful but correct.
+  MD_ASSIGN_OR_RETURN(std::shared_ptr<const CachedDocument> doc,
+                      CachedDocument::Parse(html, project_attr));
+  if (byte_budget_ <= 0) return doc;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost the parse race; serve the admitted copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->doc;
+  }
+  lru_.push_front(Entry{key, doc, 0});
+  index_.emplace(key, lru_.begin());
+  ++stats_.entries;
+  RefreshChargeAndEvict(lru_.begin());
+  return doc;
+}
+
+void DocumentCache::RefreshChargeAndEvict(std::list<Entry>::iterator it) {
+  const int64_t fresh = it->doc->ApproxBytes();
+  stats_.bytes_in_use += fresh - it->charged_bytes;
+  it->charged_bytes = fresh;
+  while (stats_.bytes_in_use > byte_budget_ && lru_.size() > 1) {
+    Entry& victim = lru_.back();
+    stats_.bytes_in_use -= victim.charged_bytes;
+    ++stats_.evictions;
+    --stats_.entries;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+DocumentCacheStats DocumentCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mdatalog::runtime

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/core/database.h"
+#include "src/html/parser.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file document_cache.h
+/// The shared-tree side of the serving runtime. A wrapper workload evaluates
+/// one fixed program over streams of documents, and the same document is
+/// typically requested many times (re-crawls, several wrappers on one page,
+/// retries). The cache parses each distinct page once and shares the
+/// immutable artifacts — HTML parse, attribute-projected tree, TreeDatabase
+/// EDB materializations — between all concurrent queries, keyed by content
+/// hash with LRU eviction under a byte budget.
+
+namespace mdatalog::runtime {
+
+/// FNV-1a 64-bit. Stable across runs; used for keys over *trusted* inputs
+/// (program text fingerprints).
+uint64_t HashBytes(std::string_view bytes);
+
+/// 128-bit content hash: an FNV-1a stream plus a structurally different
+/// multiply-xorshift stream, one scan. Document/memo keys use this because
+/// the HTML is untrusted — a key collision would silently serve one page's
+/// extraction results for another, and 64 bits of a non-cryptographic hash
+/// is constructible. Not cryptographic either (see the note at the
+/// definition); swap in a keyed hash if adversarial collision search is in
+/// the threat model.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const Hash128&) const = default;
+};
+Hash128 HashBytes128(std::string_view bytes);
+
+/// One fully prepared, immutable document. Shared (shared_ptr const) between
+/// every query that hits the same content: the tree and parse are read-only,
+/// and the TreeDatabase's lazy EDB materialization is internally
+/// mutex-guarded, so concurrent evaluations are safe.
+class CachedDocument {
+ public:
+  /// Parses `html`; if `project_attr` is non-empty, additionally projects
+  /// that attribute into the labels (Remark 2.2 — "div@sidebar"-style
+  /// alphabets wrappers match on).
+  static util::Result<std::shared_ptr<const CachedDocument>> Parse(
+      std::string_view html, const std::string& project_attr);
+
+  const html::Document& doc() const { return doc_; }
+  /// The tree wrappers evaluate over: the projected tree when an attribute
+  /// projection was requested, the raw parse tree otherwise.
+  const tree::Tree& tree() const {
+    return projected_.has_value() ? *projected_ : doc_.tree();
+  }
+  /// The shared relational view of tree(). Thread-safe lazy materialization.
+  const core::TreeDatabase& edb() const { return *edb_; }
+
+  /// Approximate heap footprint. Grows as evaluations materialize further
+  /// EDB relations; the cache refreshes its charge on every hit. O(1): the
+  /// immutable tree part is measured once at parse time and the EDB keeps an
+  /// incremental counter — no heap walk on the serving hot path.
+  int64_t ApproxBytes() const { return static_bytes_ + edb_->ApproxBytes(); }
+
+ private:
+  explicit CachedDocument(html::Document doc) : doc_(std::move(doc)) {}
+
+  html::Document doc_;
+  std::optional<tree::Tree> projected_;
+  // Emplaced after doc_/projected_ reach their final heap location (it holds
+  // a reference to tree()).
+  std::optional<core::TreeDatabase> edb_;
+  int64_t static_bytes_ = 0;  // trees + parse, fixed after construction
+};
+
+struct DocumentCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t bytes_in_use = 0;
+  int64_t byte_budget = 0;
+  int32_t entries = 0;
+};
+
+/// Content-addressed LRU document cache with byte-budget accounting.
+///
+/// Key: (FNV-1a of the HTML bytes, projection attribute) — two wrappers with
+/// different projections see different trees and must not share an entry.
+/// Eviction: least-recently-used entries are dropped until the budget holds
+/// again; the entry just touched is never evicted (a single oversized
+/// document is served but not retained beside other entries). Evicted
+/// documents stay alive as long as in-flight queries hold their shared_ptr.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+class DocumentCache {
+ public:
+  explicit DocumentCache(int64_t byte_budget);
+
+  /// Returns the shared document for `html`, parsing and admitting it on
+  /// miss. A byte_budget of 0 disables caching (every call parses).
+  util::Result<std::shared_ptr<const CachedDocument>> GetOrParse(
+      std::string_view html, const std::string& project_attr);
+
+  /// Same, with the content hash precomputed by the caller (the runtime
+  /// already hashed the page for its memo key — don't re-scan the bytes).
+  /// `content_hash` must equal HashBytes128(html).
+  util::Result<std::shared_ptr<const CachedDocument>> GetOrParse(
+      std::string_view html, const std::string& project_attr,
+      const Hash128& content_hash);
+
+  DocumentCacheStats stats() const;
+
+ private:
+  struct Key {
+    Hash128 content_hash;
+    std::string attr;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.content_hash.lo * 1099511628211ULL ^
+                                 k.content_hash.hi) ^
+             std::hash<std::string>{}(k.attr);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const CachedDocument> doc;
+    int64_t charged_bytes = 0;
+  };
+
+  /// Requires mu_ held. Re-reads `it`'s ApproxBytes (EDB materializations
+  /// grow after admission) and evicts LRU entries other than `it` until the
+  /// budget holds.
+  void RefreshChargeAndEvict(std::list<Entry>::iterator it);
+
+  const int64_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  DocumentCacheStats stats_;
+};
+
+}  // namespace mdatalog::runtime

@@ -1,0 +1,84 @@
+#include "src/runtime/program_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/elog/to_datalog.h"
+#include "src/runtime/document_cache.h"
+#include "src/tmnf/pipeline.h"
+#include "src/util/check.h"
+
+namespace mdatalog::runtime {
+
+uint64_t ProgramCache::Fingerprint(const wrapper::Wrapper& wrapper) {
+  std::string key = elog::ToString(wrapper.program);
+  for (const std::string& p : wrapper.extraction_patterns) {
+    key += '\x1f';  // unit separator: pattern lists must not concatenate
+    key += p;
+  }
+  return HashBytes(key);
+}
+
+namespace {
+
+/// Attempts the Corollary 6.4 pipeline. Failure is not an error — Elog⁻Δ
+/// programs are expected to fall back to the native evaluator.
+void TryCompileGroundPlan(CompiledWrapperProgram* out) {
+  if (out->prepared.program.program().UsesDeltaBuiltins()) return;
+  auto datalog = elog::ElogToDatalog(out->prepared.program.program());
+  if (!datalog.ok()) return;
+  auto tmnf = tmnf::ToTmnf(*datalog);
+  if (!tmnf.ok()) return;
+  auto plan = core::GroundPlan::Compile(*tmnf);
+  if (!plan.ok()) return;
+  out->tmnf = std::move(*tmnf);
+  out->ground_plan = std::move(*plan);
+  out->pattern_preds.reserve(out->prepared.extraction_patterns.size());
+  for (const std::string& pattern : out->prepared.extraction_patterns) {
+    out->pattern_preds.push_back(out->tmnf.preds().Find("pat_" + pattern));
+  }
+  out->has_ground_plan = true;
+}
+
+}  // namespace
+
+ProgramCache::ProgramCache(int32_t capacity)
+    : capacity_(std::max(capacity, 1)) {}
+
+util::Result<std::shared_ptr<const CompiledWrapperProgram>>
+ProgramCache::GetOrCompile(const wrapper::Wrapper& wrapper) {
+  const uint64_t fp = Fingerprint(wrapper);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(fp);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->program;
+  }
+  ++stats_.misses;
+
+  auto compiled = std::make_shared<CompiledWrapperProgram>();
+  MD_ASSIGN_OR_RETURN(compiled->prepared,
+                      wrapper::PreparedWrapper::Prepare(wrapper));
+  compiled->fingerprint = fp;
+  TryCompileGroundPlan(compiled.get());
+  if (compiled->has_ground_plan) ++stats_.ground_plans;
+
+  lru_.push_front(Entry{fp, compiled});
+  index_.emplace(fp, lru_.begin());
+  ++stats_.entries;
+  while (static_cast<int32_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++stats_.evictions;
+    --stats_.entries;
+  }
+  return std::shared_ptr<const CompiledWrapperProgram>(std::move(compiled));
+}
+
+ProgramCacheStats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mdatalog::runtime

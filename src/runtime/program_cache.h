@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ast.h"
+#include "src/core/grounder.h"
+#include "src/util/result.h"
+#include "src/wrapper/wrapper.h"
+
+/// \file program_cache.h
+/// The compiled-program side of the serving runtime. A wrapper program is
+/// fixed while documents stream past, so everything derived from the program
+/// alone is compiled exactly once and shared:
+///
+///  * the Elog validation (PreparedElogProgram);
+///  * for Elog⁻ programs (no Δ builtins) the full Corollary 6.4 pipeline —
+///    ElogToDatalog → TMNF normalization (Theorem 5.2) → GroundPlan
+///    (Theorem 4.2 schedules) — so per-document evaluation is a plan replay
+///    in O(|P|·|dom|) with per-worker arena reuse.
+///
+/// Elog⁻Δ programs (before%/notafter/notbefore — beyond MSO, Theorem 6.6)
+/// have no datalog counterpart and keep the native evaluator; the cache
+/// still amortizes their validation.
+
+namespace mdatalog::runtime {
+
+/// A wrapper compiled for serving. Immutable after construction; shared
+/// (shared_ptr const) between all threads and all documents.
+struct CompiledWrapperProgram {
+  wrapper::PreparedWrapper prepared;
+
+  /// The Corollary 6.4 pipeline, when available.
+  bool has_ground_plan = false;
+  core::Program tmnf;  // owns the PredicateTable pattern_preds indexes
+  std::optional<core::GroundPlan> ground_plan;
+  /// PredId of "pat_<pattern>" in `tmnf` per extraction pattern (parallel to
+  /// prepared.extraction_patterns); -1 if the pattern is never derivable.
+  std::vector<core::PredId> pattern_preds;
+
+  uint64_t fingerprint = 0;
+};
+
+struct ProgramCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int32_t entries = 0;
+  /// Programs whose Corollary 6.4 pipeline compiled (vs native-only).
+  int64_t ground_plans = 0;
+};
+
+/// LRU cache of compiled wrapper programs, keyed by a fingerprint of the
+/// program text plus the extraction-pattern list. Capacity is entry-count
+/// based: programs are tiny next to documents, the bound only guards against
+/// unbounded churn from generated programs.
+///
+/// Thread safety: all public methods are safe to call concurrently. A
+/// compile miss holds the lock — program compilation is rare (once per
+/// wrapper deployment) and concurrent duplicate compilation would waste more
+/// than it saves.
+class ProgramCache {
+ public:
+  explicit ProgramCache(int32_t capacity);
+
+  util::Result<std::shared_ptr<const CompiledWrapperProgram>> GetOrCompile(
+      const wrapper::Wrapper& wrapper);
+
+  ProgramCacheStats stats() const;
+
+  /// The fingerprint GetOrCompile keys on. Exposed for result-memo keys.
+  static uint64_t Fingerprint(const wrapper::Wrapper& wrapper);
+
+ private:
+  struct Entry {
+    uint64_t fingerprint;
+    std::shared_ptr<const CompiledWrapperProgram> program;
+  };
+
+  const int32_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  ProgramCacheStats stats_;
+};
+
+}  // namespace mdatalog::runtime

@@ -1,0 +1,194 @@
+#include "src/runtime/runtime.h"
+
+#include <utility>
+
+#include "src/core/eval.h"
+#include "src/elog/eval.h"
+#include "src/tree/serialize.h"
+#include "src/util/check.h"
+
+namespace mdatalog::runtime {
+
+WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
+    : options_(options),
+      programs_(options.program_cache_capacity),
+      documents_(options.document_cache_bytes),
+      pool_(options.num_threads) {}
+
+WrapperRuntime::~WrapperRuntime() = default;
+
+util::Result<WrapperHandle> WrapperRuntime::Register(
+    const wrapper::Wrapper& wrapper, const std::string& project_attr) {
+  MD_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledWrapperProgram> program,
+                      programs_.GetOrCompile(wrapper));
+  return WrapperHandle{std::move(program), project_attr};
+}
+
+util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
+                                               std::string_view html) {
+  MD_CHECK(handle.program != nullptr);
+  // One content hash per request, shared by the memo key and the document
+  // cache key — the page bytes are scanned exactly once.
+  const Hash128 content_hash = HashBytes128(html);
+  const MemoKey key{handle.program->fingerprint, content_hash,
+                    handle.project_attr};
+  if (std::shared_ptr<const std::string> memoized = MemoLookup(key)) {
+    return *memoized;
+  }
+
+  MD_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CachedDocument> doc,
+      documents_.GetOrParse(html, handle.project_attr, content_hash));
+  MD_ASSIGN_OR_RETURN(std::string xml, Evaluate(*handle.program, *doc));
+  auto shared = std::make_shared<const std::string>(std::move(xml));
+  MemoInsert(key, shared);
+  return *shared;
+}
+
+util::Result<std::string> WrapperRuntime::Evaluate(
+    const CompiledWrapperProgram& program, const CachedDocument& doc) {
+  using EngineMode = RuntimeOptions::EngineMode;
+  const bool grounded =
+      options_.engine == EngineMode::kGroundedDatalog ||
+      (options_.engine == EngineMode::kAuto && program.has_ground_plan);
+  const bool seminaive = options_.engine == EngineMode::kSemiNaiveDatalog;
+
+  elog::ElogResult matches;
+  if (grounded || seminaive) {
+    if (!program.has_ground_plan) {
+      return util::Status::FailedPrecondition(
+          "engine mode requires the datalog pipeline but it did not compile "
+          "for this program (Elog⁻Δ builtins?)");
+    }
+    core::EvalResult eval;
+    if (grounded) {
+      // One arena per worker thread: all clause-arena and solver allocations
+      // amortize across the documents this thread serves.
+      thread_local core::GroundArena arena;
+      MD_ASSIGN_OR_RETURN(
+          eval,
+          core::EvaluateGrounded(*program.ground_plan, doc.tree(), &arena));
+    } else {
+      // The shared, mutex-guarded TreeDatabase: EDB relations materialize on
+      // first touch and every later query on this document reuses them.
+      MD_ASSIGN_OR_RETURN(eval,
+                          core::EvaluateSemiNaive(program.tmnf, doc.edb()));
+    }
+    const auto& patterns = program.prepared.extraction_patterns;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      core::PredId pred = program.pattern_preds[i];
+      if (pred < 0) continue;  // never derivable: empty extent
+      matches.matches[patterns[i]] = eval.Unary(pred);
+    }
+  } else {
+    MD_ASSIGN_OR_RETURN(matches,
+                        elog::EvaluateElog(program.prepared.program,
+                                           doc.tree()));
+  }
+
+  tree::Tree out = wrapper::BuildOutputTree(
+      program.prepared.extraction_patterns, matches, doc.tree());
+  std::string xml = tree::ToXml(out);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++pages_wrapped_;
+    ++(grounded   ? grounded_evals_
+       : seminaive ? seminaive_evals_
+                   : native_evals_);
+  }
+  return xml;
+}
+
+std::future<util::Result<std::string>> WrapperRuntime::Submit(
+    const WrapperHandle& handle, std::string html) {
+  auto task = std::make_shared<
+      std::packaged_task<util::Result<std::string>()>>(
+      [this, handle, html = std::move(html)] { return Wrap(handle, html); });
+  std::future<util::Result<std::string>> future = task->get_future();
+  pool_.Submit([task = std::move(task)] { (*task)(); });
+  return future;
+}
+
+std::future<util::Result<std::string>> WrapperRuntime::SubmitRef(
+    const WrapperHandle& handle, const std::string* page) {
+  auto task = std::make_shared<
+      std::packaged_task<util::Result<std::string>()>>(
+      [this, handle, page] { return Wrap(handle, *page); });
+  std::future<util::Result<std::string>> future = task->get_future();
+  pool_.Submit([task = std::move(task)] { (*task)(); });
+  return future;
+}
+
+std::vector<util::Result<std::string>> WrapperRuntime::RunBatch(
+    const WrapperHandle& handle, const std::vector<std::string>& pages) {
+  std::vector<std::future<util::Result<std::string>>> futures;
+  futures.reserve(pages.size());
+  // By reference, not Submit's copy: this function owns `pages` until every
+  // future is joined below, so a corpus-sized duplication would buy nothing.
+  for (const std::string& page : pages) {
+    futures.push_back(SubmitRef(handle, &page));
+  }
+  std::vector<util::Result<std::string>> results;
+  results.reserve(pages.size());
+  // Collection in submission order = deterministic merge: result i belongs
+  // to pages[i] no matter which worker finished first.
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::shared_ptr<const std::string> WrapperRuntime::MemoLookup(
+    const MemoKey& key) {
+  if (options_.result_memo_bytes <= 0) return nullptr;
+  std::shared_ptr<const std::string> hit;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = memo_index_.find(key);
+    if (it != memo_index_.end()) {
+      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+      hit = it->second->xml;
+    }
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++(hit != nullptr ? memo_hits_ : memo_misses_);
+  return hit;
+}
+
+void WrapperRuntime::MemoInsert(const MemoKey& key,
+                                const std::shared_ptr<const std::string>& xml) {
+  if (options_.result_memo_bytes <= 0) return;
+  auto entry_cost = [](const MemoEntry& e) {
+    return static_cast<int64_t>(e.xml->size() + e.key.attr.size()) +
+           static_cast<int64_t>(sizeof(MemoEntry)) + 64;
+  };
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  if (memo_index_.contains(key)) return;  // concurrent eval of the same page
+  memo_lru_.push_front(MemoEntry{key, xml});
+  memo_index_.emplace(key, memo_lru_.begin());
+  memo_bytes_ += entry_cost(memo_lru_.front());
+  while (memo_bytes_ > options_.result_memo_bytes && memo_lru_.size() > 1) {
+    memo_bytes_ -= entry_cost(memo_lru_.back());
+    memo_index_.erase(memo_lru_.back().key);
+    memo_lru_.pop_back();
+  }
+}
+
+RuntimeStats WrapperRuntime::stats() const {
+  RuntimeStats out;
+  out.document_cache = documents_.stats();
+  out.program_cache = programs_.stats();
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    out.memo_bytes = memo_bytes_;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.memo_hits = memo_hits_;
+  out.memo_misses = memo_misses_;
+  out.pages_wrapped = pages_wrapped_;
+  out.grounded_evals = grounded_evals_;
+  out.seminaive_evals = seminaive_evals_;
+  out.native_evals = native_evals_;
+  return out;
+}
+
+}  // namespace mdatalog::runtime

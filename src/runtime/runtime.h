@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/document_cache.h"
+#include "src/runtime/program_cache.h"
+#include "src/runtime/thread_pool.h"
+#include "src/util/result.h"
+#include "src/wrapper/wrapper.h"
+
+/// \file runtime.h
+/// The wrapper-serving runtime: one process-wide object that owns the
+/// compiled-program cache, the shared-document cache, an optional result
+/// memo, and a fixed thread pool, and serves wrap requests through them.
+///
+/// This is the workload the paper's complexity story targets — monadic
+/// datalog wrappers are O(|P|·|dom|) per page (Theorem 4.2), so the
+/// per-page constant factors (HTML re-parse, program re-validation,
+/// plan re-compilation, arena allocation) dominate a serving deployment.
+/// The runtime amortizes every one of them.
+
+namespace mdatalog::runtime {
+
+struct RuntimeOptions {
+  /// Workers in the batch executor. 1 = synchronous single-thread.
+  int32_t num_threads = 1;
+  /// Byte budget of the shared-document cache; 0 disables document caching.
+  int64_t document_cache_bytes = 64 << 20;
+  /// Max number of compiled programs kept.
+  int32_t program_cache_capacity = 64;
+  /// Byte budget for memoized wrap results (wrapping is a pure function of
+  /// (program, document), so the memo is exact); 0 disables memoization.
+  int64_t result_memo_bytes = 16 << 20;
+
+  enum class EngineMode {
+    /// Grounded-datalog plan replay when the Corollary 6.4 pipeline
+    /// compiled, native Elog evaluation otherwise.
+    kAuto,
+    /// Always the native Elog evaluator (supports Elog⁻Δ).
+    kNativeElog,
+    /// Require the grounded plan; Wrap fails for programs without one.
+    kGroundedDatalog,
+    /// Semi-naive datalog over the document's shared TreeDatabase: the
+    /// cached EDB materializations (firstchild/nextsibling/label relations
+    /// and functional arrays) are built once per document and shared by
+    /// every query on it. Requires the datalog translation, like
+    /// kGroundedDatalog. Mainly for cross-engine checking and for workloads
+    /// where many programs hit one document (the EDB amortizes across
+    /// programs; a GroundPlan amortizes across documents).
+    kSemiNaiveDatalog,
+  };
+  EngineMode engine = EngineMode::kAuto;
+};
+
+struct RuntimeStats {
+  DocumentCacheStats document_cache;
+  ProgramCacheStats program_cache;
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
+  int64_t memo_bytes = 0;
+  int64_t pages_wrapped = 0;       // full evaluations (memo hits excluded)
+  int64_t grounded_evals = 0;
+  int64_t seminaive_evals = 0;
+  int64_t native_evals = 0;
+};
+
+/// A registered wrapper: the shared compiled program plus the attribute
+/// projection its pages are prepared with. Cheap to copy.
+struct WrapperHandle {
+  std::shared_ptr<const CompiledWrapperProgram> program;
+  std::string project_attr;
+};
+
+class WrapperRuntime {
+ public:
+  explicit WrapperRuntime(const RuntimeOptions& options = {});
+  ~WrapperRuntime();
+
+  WrapperRuntime(const WrapperRuntime&) = delete;
+  WrapperRuntime& operator=(const WrapperRuntime&) = delete;
+
+  /// Compiles (or fetches) the wrapper program. `project_attr` non-empty
+  /// projects that attribute into the labels of every page served to this
+  /// wrapper (Remark 2.2), e.g. "class" for "tr@item"-style patterns.
+  util::Result<WrapperHandle> Register(const wrapper::Wrapper& wrapper,
+                                       const std::string& project_attr = "");
+
+  /// Wraps one page synchronously on the calling thread, through the caches.
+  /// Returns the output XML.
+  util::Result<std::string> Wrap(const WrapperHandle& handle,
+                                 std::string_view html);
+
+  /// Enqueues one page on the thread pool.
+  std::future<util::Result<std::string>> Submit(const WrapperHandle& handle,
+                                                std::string html);
+
+  /// Fans a corpus across the workers and merges deterministically: the
+  /// result vector is index-aligned with `pages` regardless of completion
+  /// order (page i's result is at position i, always).
+  std::vector<util::Result<std::string>> RunBatch(
+      const WrapperHandle& handle, const std::vector<std::string>& pages);
+
+  RuntimeStats stats() const;
+  int32_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct MemoKey {
+    uint64_t program_fp;
+    Hash128 content_hash;  // 128-bit: the page bytes are untrusted input
+    std::string attr;
+    bool operator==(const MemoKey&) const = default;
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      return static_cast<size_t>(k.program_fp * 1099511628211ULL ^
+                                 k.content_hash.lo ^ k.content_hash.hi) ^
+             std::hash<std::string>{}(k.attr);
+    }
+  };
+  // The XML is held by shared_ptr so lookups copy a pointer, not the
+  // document, while holding memo_mu_ — the hit path's critical section is
+  // O(1), not O(output).
+  struct MemoEntry {
+    MemoKey key;
+    std::shared_ptr<const std::string> xml;
+  };
+
+  std::shared_ptr<const std::string> MemoLookup(const MemoKey& key);
+  void MemoInsert(const MemoKey& key,
+                  const std::shared_ptr<const std::string>& xml);
+
+  /// Submit without copying the page: `page` must stay alive until the
+  /// returned future is ready (RunBatch owns the corpus and joins).
+  std::future<util::Result<std::string>> SubmitRef(const WrapperHandle& handle,
+                                                   const std::string* page);
+
+  /// The uncached evaluation core: engine selection + extent computation +
+  /// output construction over a prepared document.
+  util::Result<std::string> Evaluate(const CompiledWrapperProgram& program,
+                                     const CachedDocument& doc);
+
+  const RuntimeOptions options_;
+  ProgramCache programs_;
+  DocumentCache documents_;
+
+  mutable std::mutex memo_mu_;
+  std::list<MemoEntry> memo_lru_;  // front = most recently used
+  std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash>
+      memo_index_;
+  int64_t memo_bytes_ = 0;  // guarded by memo_mu_ (lives with the LRU)
+
+  mutable std::mutex stats_mu_;
+  int64_t memo_hits_ = 0;
+  int64_t memo_misses_ = 0;
+  int64_t pages_wrapped_ = 0;
+  int64_t grounded_evals_ = 0;
+  int64_t seminaive_evals_ = 0;
+  int64_t native_evals_ = 0;
+
+  // Last member on purpose: ~ThreadPool drains queued jobs, and those jobs
+  // touch every cache/mutex above — the pool must die (and drain) first.
+  ThreadPool pool_;
+};
+
+}  // namespace mdatalog::runtime

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A fixed-size worker pool for the batch executor. Deliberately minimal:
+/// FIFO queue, no work stealing, no priorities — wrapper jobs are uniform
+/// and embarrassingly parallel (one page each), so fairness and simplicity
+/// win over scheduling cleverness.
+
+namespace mdatalog::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int32_t num_threads);
+  /// Drains the queue (submitted futures must complete), then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Runs on some worker thread; never inline. Submitting
+  /// after destruction has begun is a caller lifetime bug and aborts
+  /// (MD_CHECK) — there is no thread that could ever run the job.
+  void Submit(std::function<void()> job);
+
+  int32_t num_threads() const {
+    return static_cast<int32_t>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mdatalog::runtime

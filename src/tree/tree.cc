@@ -97,6 +97,16 @@ std::string Tree::SubtreeText(NodeId n) const {
   return out;
 }
 
+int64_t Tree::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(nodes_.capacity()) * sizeof(Node);
+  bytes += static_cast<int64_t>(texts_.capacity()) * sizeof(std::string);
+  for (const std::string& t : texts_) {
+    bytes += static_cast<int64_t>(t.capacity());
+  }
+  bytes += labels_.ApproxBytes();
+  return bytes;
+}
+
 NodeId TreeBuilder::Root(std::string_view label) {
   MD_CHECK(tree_.nodes_.empty());
   Node node;

@@ -113,6 +113,9 @@ class Tree {
   LabelId FindLabel(std::string_view name) const { return labels_.Find(name); }
   /// Concatenated text of n's subtree in document order.
   std::string SubtreeText(NodeId n) const;
+  /// Approximate heap footprint in bytes (nodes, texts, label alphabet) —
+  /// used by the serving runtime's document-cache byte accounting.
+  int64_t ApproxBytes() const;
 
  private:
   friend class TreeBuilder;

@@ -21,8 +21,17 @@ using SymbolId = int32_t;
 
 inline constexpr SymbolId kInvalidSymbol = -1;
 
-/// Bidirectional string <-> dense id map. Not thread safe (the library is
-/// single-threaded by design; evaluation state is per-call).
+/// Bidirectional string <-> dense id map.
+///
+/// Thread safety: Intern() mutates and must not race with anything. Find(),
+/// Name() and size() are pure reads and are safe to call concurrently —
+/// *provided* no thread interns at the same time. Every Interner in this
+/// library is owned by an object that is immutable once built (a Tree after
+/// TreeBuilder::Build, a Program's PredicateTable after parsing/translation),
+/// so the serving runtime may share trees and compiled programs across
+/// worker threads freely; construction is confined to a single thread. Do
+/// not intern into a shared instance after publication — isolate a fresh
+/// Interner per worker instead if mutation is needed.
 class Interner {
  public:
   /// Returns the id for `s`, interning it on first sight.
@@ -48,6 +57,18 @@ class Interner {
   }
 
   int32_t size() const { return static_cast<int32_t>(strings_.size()); }
+
+  /// Approximate heap footprint in bytes (strings stored twice: dense table
+  /// plus hash-map keys).
+  int64_t ApproxBytes() const {
+    int64_t bytes = 0;
+    for (const std::string& s : strings_) {
+      bytes += 2 * static_cast<int64_t>(s.capacity()) +
+               static_cast<int64_t>(sizeof(std::string)) +
+               static_cast<int64_t>(sizeof(SymbolId)) + 32;  // map node est.
+    }
+    return bytes;
+  }
 
  private:
   std::vector<std::string> strings_;

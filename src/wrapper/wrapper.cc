@@ -1,6 +1,7 @@
 #include "src/wrapper/wrapper.h"
 
 #include <functional>
+#include <utility>
 
 #include "src/html/parser.h"
 #include "src/tree/serialize.h"
@@ -12,13 +13,18 @@ using tree::kNoNode;
 using tree::NodeId;
 using tree::Tree;
 
-util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
-  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
-                      elog::EvaluateElog(wrapper.program, t));
+util::Result<PreparedWrapper> PreparedWrapper::Prepare(const Wrapper& w) {
+  MD_ASSIGN_OR_RETURN(elog::PreparedElogProgram prepared,
+                      elog::PreparedElogProgram::Prepare(w.program));
+  return PreparedWrapper{std::move(prepared), w.extraction_patterns};
+}
+
+Tree BuildOutputTree(const std::vector<std::string>& extraction_patterns,
+                     const elog::ElogResult& matches, const Tree& t) {
   // Patterns per node, in extraction-pattern order.
   std::vector<std::vector<int32_t>> patterns_of(t.size());
-  for (size_t pi = 0; pi < wrapper.extraction_patterns.size(); ++pi) {
-    for (NodeId n : result.Of(wrapper.extraction_patterns[pi])) {
+  for (size_t pi = 0; pi < extraction_patterns.size(); ++pi) {
+    for (NodeId n : matches.Of(extraction_patterns[pi])) {
       patterns_of[n].push_back(static_cast<int32_t>(pi));
     }
   }
@@ -44,8 +50,8 @@ util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
     size_t pushed = 0;
     for (size_t i = 0; i < patterns_of[n].size(); ++i) {
       int32_t pi = patterns_of[n][i];
-      NodeId built = builder.Child(parent_stack.back(),
-                                   wrapper.extraction_patterns[pi]);
+      NodeId built =
+          builder.Child(parent_stack.back(), extraction_patterns[pi]);
       bool innermost = (i + 1 == patterns_of[n].size());
       if (innermost && !marked_below[n]) {
         builder.SetText(built, t.SubtreeText(n));
@@ -60,6 +66,18 @@ util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
   };
   walk(t.root());
   return builder.Build();
+}
+
+util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
+  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
+                      elog::EvaluateElog(wrapper.program, t));
+  return BuildOutputTree(wrapper.extraction_patterns, result, t);
+}
+
+util::Result<Tree> WrapTree(const PreparedWrapper& wrapper, const Tree& t) {
+  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
+                      elog::EvaluateElog(wrapper.program, t));
+  return BuildOutputTree(wrapper.extraction_patterns, result, t);
 }
 
 util::Result<std::string> WrapHtmlToXml(const Wrapper& wrapper,

@@ -26,14 +26,38 @@ struct Wrapper {
   std::vector<std::string> extraction_patterns;
 };
 
-/// Runs the wrapper and builds the output tree: a synthetic root "result"
-/// whose descendants are the selected nodes, parented at their nearest
-/// selected proper ancestor (or the root), labeled by their pattern name.
-/// A node matched by several extraction patterns appears once per pattern
-/// (in pattern order). Nodes selected by no pattern vanish. The text payload
-/// of an output leaf is the full subtree text of its input node (what a user
-/// would want of, e.g., a price cell).
+/// A wrapper whose program was validated once (elog::PreparedElogProgram) so
+/// repeated evaluation over a document stream pays no per-page validation.
+/// Immutable after Prepare — safe to share across serving threads.
+struct PreparedWrapper {
+  elog::PreparedElogProgram program;
+  std::vector<std::string> extraction_patterns;
+
+  static util::Result<PreparedWrapper> Prepare(const Wrapper& wrapper);
+};
+
+/// Builds the output tree from already-computed pattern extents: a synthetic
+/// root "result" whose descendants are the selected nodes, parented at their
+/// nearest selected proper ancestor (or the root), labeled by their pattern
+/// name. A node matched by several extraction patterns appears once per
+/// pattern (in pattern order). Nodes selected by no pattern vanish. The text
+/// payload of an output leaf is the full subtree text of its input node
+/// (what a user would want of, e.g., a price cell).
+///
+/// Exposed separately from WrapTree so callers that obtained the extents
+/// through another evaluation path (the serving runtime's grounded-datalog
+/// engine, Corollary 6.4) reuse the identical output construction.
+tree::Tree BuildOutputTree(const std::vector<std::string>& extraction_patterns,
+                           const elog::ElogResult& matches,
+                           const tree::Tree& t);
+
+/// Runs the wrapper (native Elog evaluation) and builds the output tree.
 util::Result<tree::Tree> WrapTree(const Wrapper& wrapper, const tree::Tree& t);
+
+/// Same, for a prepared wrapper over a pre-parsed tree: no re-validation, no
+/// re-parse — the entry point the serving runtime's caches feed.
+util::Result<tree::Tree> WrapTree(const PreparedWrapper& wrapper,
+                                  const tree::Tree& t);
 
 /// Convenience: parse HTML, wrap, serialize the result as XML.
 util::Result<std::string> WrapHtmlToXml(const Wrapper& wrapper,

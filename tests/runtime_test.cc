@@ -1,0 +1,512 @@
+// The wrapper-serving runtime: compiled-program + shared-document caches and
+// the thread-pool batch executor. The load-bearing property throughout is
+// that every cached / parallel / arena-reusing path is byte-identical to the
+// sequential, cache-free evaluation (and, at the datalog level, to the
+// pre-rewrite reference oracle).
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/grounder.h"
+#include "src/core/reference_eval.h"
+#include "src/elog/ast.h"
+#include "src/elog/to_datalog.h"
+#include "src/html/parser.h"
+#include "src/html/synthetic.h"
+#include "src/runtime/document_cache.h"
+#include "src/runtime/program_cache.h"
+#include "src/runtime/runtime.h"
+#include "src/tmnf/pipeline.h"
+#include "src/tree/generator.h"
+#include "src/tree/serialize.h"
+#include "src/util/rng.h"
+#include "src/wrapper/wrapper.h"
+
+namespace {
+
+using namespace mdatalog;
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// The bench_wrapper catalog wrapper: class-projected labels, Elog⁻ only
+/// (so the Corollary 6.4 grounded pipeline compiles).
+wrapper::Wrapper CatalogWrapper() {
+  auto program = elog::ParseElog(R"(
+    anynode(X) <- root(X).
+    anynode(X) <- anynode(P), subelem(P, "_", X).
+    item(X)  <- anynode(P), subelem(P, "tr@item", X).
+    price(Y) <- item(X), subelem(X, "td@price", Y).
+  )");
+  EXPECT_TRUE(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"item", "price"};
+  return w;
+}
+
+/// A wrapper over raw tag labels (no projection), for the board pages.
+wrapper::Wrapper BoardWrapper() {
+  auto program = elog::ParseElog(R"(
+    anynode(X) <- root(X).
+    anynode(X) <- anynode(P), subelem(P, "_", X).
+    litem(X) <- anynode(P), subelem(P, "li", X).
+    deepleaf(X) <- litem(X), leaf(X).
+  )");
+  EXPECT_TRUE(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"litem", "deepleaf"};
+  return w;
+}
+
+std::string CatalogPage(uint64_t seed, int32_t items) {
+  util::Rng rng(seed);
+  html::CatalogOptions opts;
+  opts.num_items = items;
+  opts.with_ads = true;
+  return html::ProductCatalogPage(rng, opts);
+}
+
+std::string BoardPage(uint64_t seed, int32_t depth, int32_t fanout) {
+  util::Rng rng(seed);
+  return html::NestedBoardPage(rng, depth, fanout);
+}
+
+/// The cache-free, single-threaded reference the runtime must reproduce.
+std::string SequentialXml(const wrapper::Wrapper& w, const std::string& html,
+                          const std::string& attr) {
+  auto doc = html::ParseHtml(html);
+  EXPECT_TRUE(doc.ok());
+  if (attr.empty()) {
+    auto out = wrapper::WrapTree(w, doc->tree());
+    EXPECT_TRUE(out.ok());
+    return tree::ToXml(*out);
+  }
+  tree::Tree t = html::ProjectAttributeIntoLabels(*doc, attr);
+  auto out = wrapper::WrapTree(w, t);
+  EXPECT_TRUE(out.ok());
+  return tree::ToXml(*out);
+}
+
+// ---------------------------------------------------------------------------
+// DocumentCache
+// ---------------------------------------------------------------------------
+
+TEST(DocumentCacheTest, SharesOneParsePerDistinctContent) {
+  runtime::DocumentCache cache(64 << 20);
+  std::string page = BoardPage(1, 3, 3);
+  auto a = cache.GetOrParse(page, "");
+  auto b = cache.GetOrParse(page, "");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());  // literally the same shared document
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes_in_use, 0);
+
+  // A different projection attribute is a different entry: the projected
+  // tree differs even for identical bytes.
+  auto c = cache.GetOrParse(page, "class");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), c->get());
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(DocumentCacheTest, EvictsLruUnderByteBudget) {
+  // Budget sized from a real document so the test tracks ApproxBytes drift.
+  auto probe = runtime::CachedDocument::Parse(BoardPage(1, 3, 3), "");
+  ASSERT_TRUE(probe.ok());
+  const int64_t one_doc = (*probe)->ApproxBytes();
+  runtime::DocumentCache cache(2 * one_doc + one_doc / 2);
+
+  ASSERT_TRUE(cache.GetOrParse(BoardPage(1, 3, 3), "").ok());
+  ASSERT_TRUE(cache.GetOrParse(BoardPage(2, 3, 3), "").ok());
+  ASSERT_TRUE(cache.GetOrParse(BoardPage(3, 3, 3), "").ok());
+
+  auto stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LE(stats.entries, 2);
+  EXPECT_LE(stats.bytes_in_use, stats.byte_budget);
+
+  // The survivor is the most recently used: page 3 hits, page 1 re-misses.
+  ASSERT_TRUE(cache.GetOrParse(BoardPage(3, 3, 3), "").ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  ASSERT_TRUE(cache.GetOrParse(BoardPage(1, 3, 3), "").ok());
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(DocumentCacheTest, ZeroBudgetDisablesCaching) {
+  runtime::DocumentCache cache(0);
+  std::string page = BoardPage(1, 2, 2);
+  auto a = cache.GetOrParse(page, "");
+  auto b = cache.GetOrParse(page, "");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(DocumentCacheTest, AccountsLateEdbMaterialization) {
+  runtime::DocumentCache cache(64 << 20);
+  std::string page = BoardPage(5, 3, 3);
+  auto doc = cache.GetOrParse(page, "");
+  ASSERT_TRUE(doc.ok());
+  const int64_t before = cache.stats().bytes_in_use;
+  // Touch EDB relations after admission — the charge must grow on next hit.
+  (void)(*doc)->edb().Get("firstchild", 2);
+  (void)(*doc)->edb().Get("nextsibling", 2);
+  (void)(*doc)->edb().Get("child", 2);
+  auto again = cache.GetOrParse(page, "");
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(cache.stats().bytes_in_use, before);
+}
+
+// ---------------------------------------------------------------------------
+// ProgramCache
+// ---------------------------------------------------------------------------
+
+TEST(ProgramCacheTest, CompilesOnceAndBuildsGroundPlan) {
+  runtime::ProgramCache cache(8);
+  wrapper::Wrapper w = CatalogWrapper();
+  auto a = cache.GetOrCompile(w);
+  auto b = cache.GetOrCompile(w);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  // Elog⁻ program: the Corollary 6.4 pipeline must have compiled, with one
+  // resolved tmnf predicate per extraction pattern.
+  EXPECT_TRUE((*a)->has_ground_plan);
+  EXPECT_EQ(cache.stats().ground_plans, 1);
+  ASSERT_EQ((*a)->pattern_preds.size(), 2u);
+  EXPECT_GE((*a)->pattern_preds[0], 0);
+  EXPECT_GE((*a)->pattern_preds[1], 0);
+
+  // Different pattern list ⇒ different fingerprint ⇒ separate entry.
+  wrapper::Wrapper w2 = CatalogWrapper();
+  w2.extraction_patterns = {"price"};
+  auto c = cache.GetOrCompile(w2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), c->get());
+}
+
+TEST(ProgramCacheTest, DeltaBuiltinProgramFallsBackToNativeOnly) {
+  auto program = elog::ParseElog(
+      "a0(X) <- root(R), subelem(R, \"a\", X), notafter(R, \"a\", X).\n");
+  ASSERT_TRUE(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"a0"};
+  runtime::ProgramCache cache(4);
+  auto compiled = cache.GetOrCompile(w);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE((*compiled)->has_ground_plan);
+  EXPECT_EQ(cache.stats().ground_plans, 0);
+}
+
+TEST(ProgramCacheTest, CapacityEvictsLru) {
+  runtime::ProgramCache cache(2);
+  wrapper::Wrapper w = CatalogWrapper();
+  wrapper::Wrapper w2 = CatalogWrapper();
+  w2.extraction_patterns = {"item"};
+  wrapper::Wrapper w3 = CatalogWrapper();
+  w3.extraction_patterns = {"price"};
+  ASSERT_TRUE(cache.GetOrCompile(w).ok());
+  ASSERT_TRUE(cache.GetOrCompile(w2).ok());
+  ASSERT_TRUE(cache.GetOrCompile(w3).ok());  // evicts w
+  EXPECT_EQ(cache.stats().entries, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  ASSERT_TRUE(cache.GetOrCompile(w).ok());  // re-compile, not a hit
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(ProgramCacheTest, RejectsInvalidPrograms) {
+  elog::ElogProgram bad;
+  elog::ElogRule r;
+  r.head_pattern = "root";  // heads must not be "root" (Definition 6.2)
+  r.head_var = "X";
+  r.parent_pattern = "root";
+  r.parent_var = "X";
+  bad.AddRule(r);
+  wrapper::Wrapper w;
+  w.program = bad;
+  runtime::ProgramCache cache(4);
+  EXPECT_FALSE(cache.GetOrCompile(w).ok());
+}
+
+// ---------------------------------------------------------------------------
+// GroundPlan replay + arena reuse (core-level): byte-identical to the
+// one-shot grounded engine and to the pre-rewrite reference oracle.
+// ---------------------------------------------------------------------------
+
+TEST(GroundPlanTest, ReplayWithSharedArenaMatchesReferenceEval) {
+  wrapper::Wrapper w = CatalogWrapper();
+  auto datalog = elog::ElogToDatalog(w.program);
+  ASSERT_TRUE(datalog.ok());
+  auto tmnf = tmnf::ToTmnf(*datalog);
+  ASSERT_TRUE(tmnf.ok());
+  auto plan = core::GroundPlan::Compile(*tmnf);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::vector<core::PredId> pats;
+  for (const std::string& p : w.extraction_patterns) {
+    pats.push_back(tmnf->preds().Find("pat_" + p));
+    ASSERT_GE(pats.back(), 0);
+  }
+
+  util::Rng rng(99);
+  core::GroundArena arena;  // one arena, reused across all trees
+  for (int trial = 0; trial < 10; ++trial) {
+    tree::Tree t = tree::RandomTree(
+        rng, 1 + static_cast<int32_t>(rng.Below(80)),
+        {"table", "tr@item", "td@price", "a", "b"});
+    auto replay = core::EvaluateGrounded(*plan, t, &arena);
+    auto oneshot = core::EvaluateGrounded(*tmnf, t);
+    core::TreeDatabase db(t);
+    auto reference = core::EvaluateSemiNaiveReference(*tmnf, db);
+    ASSERT_TRUE(replay.ok());
+    ASSERT_TRUE(oneshot.ok());
+    ASSERT_TRUE(reference.ok());
+    for (core::PredId p : pats) {
+      EXPECT_EQ(replay->Unary(p), oneshot->Unary(p));
+      EXPECT_EQ(replay->Unary(p), reference->Unary(p));
+    }
+    EXPECT_EQ(replay->num_derived(), oneshot->num_derived());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WrapperRuntime: correctness vs the sequential reference
+// ---------------------------------------------------------------------------
+
+TEST(WrapperRuntimeTest, MatchesSequentialWrapperOnRawLabels) {
+  runtime::WrapperRuntime rt;
+  auto handle = rt.Register(BoardWrapper());
+  ASSERT_TRUE(handle.ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string page = BoardPage(seed, 3, 3);
+    auto got = rt.Wrap(*handle, page);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, SequentialXml(BoardWrapper(), page, ""));
+  }
+}
+
+TEST(WrapperRuntimeTest, MatchesSequentialWrapperWithProjection) {
+  runtime::WrapperRuntime rt;
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::string page = CatalogPage(seed, 12);
+    auto got = rt.Wrap(*handle, page);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, SequentialXml(CatalogWrapper(), page, "class"));
+  }
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.grounded_evals, 5);  // kAuto used the Corollary 6.4 plan
+  EXPECT_EQ(stats.native_evals, 0);
+}
+
+TEST(WrapperRuntimeTest, EnginesProduceIdenticalOutput) {
+  runtime::RuntimeOptions native_opts;
+  native_opts.engine = runtime::RuntimeOptions::EngineMode::kNativeElog;
+  native_opts.result_memo_bytes = 0;
+  runtime::RuntimeOptions grounded_opts;
+  grounded_opts.engine = runtime::RuntimeOptions::EngineMode::kGroundedDatalog;
+  grounded_opts.result_memo_bytes = 0;
+  runtime::RuntimeOptions seminaive_opts;
+  seminaive_opts.engine =
+      runtime::RuntimeOptions::EngineMode::kSemiNaiveDatalog;
+  seminaive_opts.result_memo_bytes = 0;
+  runtime::WrapperRuntime native(native_opts);
+  runtime::WrapperRuntime grounded(grounded_opts);
+  runtime::WrapperRuntime seminaive(seminaive_opts);
+  auto hn = native.Register(CatalogWrapper(), "class");
+  auto hg = grounded.Register(CatalogWrapper(), "class");
+  auto hs = seminaive.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(hn.ok());
+  ASSERT_TRUE(hg.ok());
+  ASSERT_TRUE(hs.ok());
+  // Two passes: the second pass hits the document cache, which re-reads
+  // each entry's byte charge — by then the semi-naive engine's shared EDB
+  // materializations from pass one are accounted.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t seed = 10; seed <= 14; ++seed) {
+      std::string page = CatalogPage(seed, 8);
+      auto a = native.Wrap(*hn, page);
+      auto b = grounded.Wrap(*hg, page);
+      auto c = seminaive.Wrap(*hs, page);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_TRUE(c.ok());
+      EXPECT_EQ(*a, *b);
+      EXPECT_EQ(*a, *c);
+    }
+  }
+  EXPECT_EQ(native.stats().native_evals, 10);
+  EXPECT_EQ(grounded.stats().grounded_evals, 10);
+  EXPECT_EQ(seminaive.stats().seminaive_evals, 10);
+  // The semi-naive engine runs over the cached documents' shared
+  // TreeDatabase — its EDB materializations must show up in the cache's
+  // byte accounting (the grounded replay walks the tree directly instead).
+  EXPECT_GT(seminaive.stats().document_cache.bytes_in_use,
+            grounded.stats().document_cache.bytes_in_use);
+}
+
+TEST(WrapperRuntimeTest, GroundedModeFailsForDeltaBuiltins) {
+  auto program = elog::ParseElog(
+      "a0(X) <- root(R), subelem(R, \"a\", X), notafter(R, \"a\", X).\n");
+  ASSERT_TRUE(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"a0"};
+
+  runtime::RuntimeOptions opts;
+  opts.engine = runtime::RuntimeOptions::EngineMode::kGroundedDatalog;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(w);
+  ASSERT_TRUE(handle.ok());  // registration succeeds (native still works)
+  EXPECT_FALSE(rt.Wrap(*handle, "<a>x</a>").ok());
+
+  // kAuto serves the same wrapper through the native engine.
+  runtime::WrapperRuntime rt_auto;
+  auto h2 = rt_auto.Register(w);
+  ASSERT_TRUE(h2.ok());
+  auto got = rt_auto.Wrap(*h2, "<html><a>x</a></html>");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, SequentialXml(w, "<html><a>x</a></html>", ""));
+}
+
+TEST(WrapperRuntimeTest, MemoServesIdenticalBytesAndCounts) {
+  runtime::WrapperRuntime rt;
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+  std::string page = CatalogPage(3, 10);
+  auto first = rt.Wrap(*handle, page);
+  auto second = rt.Wrap(*handle, page);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.memo_hits, 1);
+  EXPECT_EQ(stats.pages_wrapped, 1);  // second request never re-evaluated
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many threads × one shared document, many documents × one
+// shared program — results byte-identical to the sequential reference.
+// Memoization is disabled so every request actually evaluates concurrently.
+// ---------------------------------------------------------------------------
+
+TEST(WrapperRuntimeConcurrencyTest, ManyThreadsOneSharedDocument) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 8;
+  opts.result_memo_bytes = 0;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  std::string page = CatalogPage(7, 16);
+  const std::string expected = SequentialXml(CatalogWrapper(), page, "class");
+
+  std::vector<std::future<util::Result<std::string>>> futures;
+  for (int i = 0; i < 48; ++i) futures.push_back(rt.Submit(*handle, page));
+  for (auto& f : futures) {
+    auto got = f.get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, expected);
+  }
+  // All 48 requests evaluated (no memo), over at most a handful of parses
+  // (the document cache absorbs the rest — a racing first miss may parse a
+  // couple of times, see DocumentCache::GetOrParse).
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.pages_wrapped, 48);
+  EXPECT_GE(stats.document_cache.hits, 40);
+}
+
+TEST(WrapperRuntimeConcurrencyTest, ManyDocumentsOneSharedProgram) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 8;
+  opts.result_memo_bytes = 0;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  std::vector<std::string> pages;
+  std::vector<std::string> expected;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    pages.push_back(CatalogPage(seed, 4 + static_cast<int32_t>(seed % 9)));
+    expected.push_back(SequentialXml(CatalogWrapper(), pages.back(), "class"));
+  }
+  // Submit each page twice, interleaved, to mix shared-document and
+  // shared-program contention.
+  std::vector<std::future<util::Result<std::string>>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& page : pages) {
+      futures.push_back(rt.Submit(*handle, page));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, expected[i % pages.size()]);
+  }
+  EXPECT_EQ(rt.stats().program_cache.entries, 1);
+}
+
+TEST(WrapperRuntimeConcurrencyTest, MemoUnderContentionStaysCorrect) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 8;  // memo enabled: exercise the memo's own locking
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(BoardWrapper());
+  ASSERT_TRUE(handle.ok());
+  std::string page = BoardPage(11, 3, 4);
+  const std::string expected = SequentialXml(BoardWrapper(), page, "");
+  std::vector<std::future<util::Result<std::string>>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(rt.Submit(*handle, page));
+  for (auto& f : futures) {
+    auto got = f.get();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected);
+  }
+}
+
+TEST(WrapperRuntimeConcurrencyTest, RunBatchIsDeterministicAndOrdered) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 4;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  std::vector<std::string> pages;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    pages.push_back(CatalogPage(seed, 3 + static_cast<int32_t>(seed % 7)));
+  }
+  auto first = rt.RunBatch(*handle, pages);
+  auto second = rt.RunBatch(*handle, pages);
+  ASSERT_EQ(first.size(), pages.size());
+  ASSERT_EQ(second.size(), pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    ASSERT_TRUE(first[i].ok());
+    ASSERT_TRUE(second[i].ok());
+    // Deterministic across runs, index-aligned with the input, and equal to
+    // the sequential single-thread evaluation.
+    EXPECT_EQ(*first[i], *second[i]);
+    EXPECT_EQ(*first[i], SequentialXml(CatalogWrapper(), pages[i], "class"));
+  }
+}
+
+}  // namespace
