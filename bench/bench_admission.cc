@@ -1,0 +1,138 @@
+// Serving-front hardening benchmark: hot/cold mixed traffic at 8 worker
+// threads through the document cache, comparing the single-mutex plain-LRU
+// baseline (PR 2's front) against the sharded TinyLFU front.
+//
+//   BM_HotColdMix/shards:S/admission:A — 8 threads, 50% of requests to a
+//     16-page hot set, 50% one-hit cold pages, document-cache budget sized
+//     to roughly the hot set. S=1/A=0 is the old front; S=8/A=1 the new.
+//
+// What moves the number: plain LRU lets every cold one-hit page evict a hot
+// resident (each re-request of a hot page then re-parses), and one mutex
+// serializes all 8 workers on every cache touch. TinyLFU keeps the hot set
+// resident; sharding splits the lock. The result memo is off so the document
+// cache is actually exercised on every request.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/elog/ast.h"
+#include "src/html/synthetic.h"
+#include "src/runtime/runtime.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/wrapper/wrapper.h"
+
+namespace {
+
+using namespace mdatalog;
+
+constexpr int kHotPages = 16;
+constexpr int kRequests = 512;
+
+wrapper::Wrapper CatalogWrapper() {
+  auto program = elog::ParseElog(R"(
+    anynode(X) <- root(X).
+    anynode(X) <- anynode(P), subelem(P, "_", X).
+    item(X)  <- anynode(P), subelem(P, "tr@item", X).
+    price(Y) <- item(X), subelem(X, "td@price", Y).
+  )");
+  MD_CHECK(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"item", "price"};
+  return w;
+}
+
+std::string Page(uint64_t seed, int32_t items) {
+  util::Rng rng(seed);
+  html::CatalogOptions opts;
+  opts.num_items = items;
+  opts.with_ads = (seed % 3 != 0);
+  return html::ProductCatalogPage(rng, opts);
+}
+
+/// The request stream: even slots round-robin the hot set (each hot page
+/// requested kRequests/2/kHotPages = 16 times), odd slots are distinct
+/// one-hit cold pages — the crawl traffic that thrashes a plain LRU.
+const std::vector<std::string>& Mix() {
+  static const std::vector<std::string>* mix = [] {
+    auto* pages = new std::vector<std::string>;
+    std::vector<std::string> hot;
+    for (int i = 0; i < kHotPages; ++i) hot.push_back(Page(1 + i, 10));
+    for (int i = 0; i < kRequests; ++i) {
+      if (i % 2 == 0) {
+        pages->push_back(hot[(i / 2) % kHotPages]);
+      } else {
+        pages->push_back(Page(10000 + i, 10));
+      }
+    }
+    return pages;
+  }();
+  return *mix;
+}
+
+/// Budget that holds the hot set plus a little slack — small enough that
+/// cold insertions must evict hot residents under plain LRU.
+int64_t HotSetBudget() {
+  static const int64_t budget = [] {
+    auto probe = runtime::CachedDocument::Parse(Page(1, 10), "class");
+    MD_CHECK(probe.ok());
+    return (*probe)->ApproxBytes() * (kHotPages + kHotPages / 4);
+  }();
+  return budget;
+}
+
+void BM_HotColdMix(benchmark::State& state) {
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 8;
+  opts.document_cache_bytes = HotSetBudget();
+  opts.document_cache_shards = static_cast<int32_t>(state.range(0));
+  opts.cache_admission = state.range(1) != 0;
+  opts.result_memo_bytes = 0;  // exercise the document cache, not the memo
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  MD_CHECK(handle.ok());
+  const auto& mix = Mix();
+
+  // Warm-up: populates the cache and (with admission on) teaches the sketch
+  // which pages are hot.
+  {
+    auto warm = rt.RunBatch(*handle, mix);
+    for (const auto& r : warm) MD_CHECK(r.ok());
+  }
+
+  int64_t pages = 0;
+  for (auto _ : state) {
+    auto results = rt.RunBatch(*handle, mix);
+    MD_CHECK(results.size() == mix.size());
+    for (const auto& r : results) MD_CHECK(r.ok());
+    benchmark::DoNotOptimize(results);
+    pages += static_cast<int64_t>(results.size());
+  }
+  state.SetItemsProcessed(pages);
+  state.counters["pages_per_sec"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+  auto stats = rt.stats();
+  state.counters["doc_cache_hits"] =
+      static_cast<double>(stats.document_cache.hits);
+  state.counters["doc_cache_misses"] =
+      static_cast<double>(stats.document_cache.misses);
+  state.counters["admission_rejects"] =
+      static_cast<double>(stats.document_cache.admission_rejects);
+}
+// UseRealTime: the workers run off the main thread; wall-clock is the
+// serving number.
+BENCHMARK(BM_HotColdMix)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->ArgNames({"shards", "admission"})
+    ->Args({1, 0})   // PR 2 baseline: one mutex, plain LRU
+    ->Args({1, 1})   // admission only
+    ->Args({8, 0})   // sharding only
+    ->Args({8, 1});  // the hardened front
+
+}  // namespace
+
+BENCHMARK_MAIN();

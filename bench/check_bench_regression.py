@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diffs a fresh google-benchmark JSON against a committed baseline.
+
+Exits non-zero when any benchmark present in both files regressed by more
+than the threshold (default 25%) in throughput. Throughput is taken from
+items_per_second when the benchmark reports it, else from 1/real_time.
+Benchmarks present in only one file are reported but never fail the check
+(renames and new series must not break CI).
+
+Usage:
+  bench/check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+
+Exit codes: 0 ok, 1 regression past threshold, 2 unusable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> throughput (higher is better), aggregates skipped."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if not name:
+            continue
+        if "items_per_second" in bench:
+            out[name] = float(bench["items_per_second"])
+        elif bench.get("real_time"):
+            out[name] = 1.0 / float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fail when fresh throughput < (1 - threshold) * baseline",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+    if not baseline or not fresh:
+        print("error: no comparable benchmarks found", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(baseline) | set(fresh)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  delta")
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'—':>12}  {fresh[name]:>12.1f}  (new)")
+            continue
+        if name not in fresh:
+            print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'—':>12}  (gone)")
+            continue
+        old, new = baseline[name], fresh[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if delta < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {delta:+7.1%}{marker}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: no regression past {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

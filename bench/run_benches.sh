@@ -20,7 +20,7 @@ if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
-  -j"$(nproc)"
+  bench_admission -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -40,3 +40,14 @@ echo "wrote ${REPO_ROOT}/BENCH_eval.json"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_runtime.json"
+
+# Hot/cold-mix serving front: single-mutex plain-LRU baseline vs the sharded
+# TinyLFU front at 8 worker threads.
+"${BUILD_DIR}/bench_admission" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_admission.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_admission.json"

@@ -56,12 +56,14 @@ class FixpointEngine {
       : program_(program),
         edb_(edb),
         options_(options),
+        ticker_(options.control),
         domain_size_(edb.DomainSize()) {}
 
   util::Result<EvalResult> RunNaive() {
     MD_RETURN_NOT_OK(Setup());
     std::vector<int32_t> binding;
     while (true) {
+      MD_RETURN_NOT_OK(ControlCheck());
       // One T_P application against the current set; collect additions and
       // apply them after the full pass (Definition 3.1 semantics).
       std::vector<FlatAtom> additions;
@@ -88,6 +90,7 @@ class FixpointEngine {
         };
         Exec(cr.base, 0, binding, emit);
       }
+      if (aborted_) return abort_status_;
       // Deduplicate within the stage (several rules may derive one atom; the
       // first deriving rule is reported, matching the paper's annotations).
       EvalStage stage;
@@ -116,6 +119,7 @@ class FixpointEngine {
 
   util::Result<EvalResult> RunSemiNaive() {
     MD_RETURN_NOT_OK(Setup());
+    MD_RETURN_NOT_OK(ControlCheck());  // fast-fail before round 0
     // Round 0: full evaluation seeds the deltas. Candidates are buffered and
     // inserted only after each rule's enumeration completes — inserting
     // during enumeration would mutate relations the join is iterating.
@@ -148,12 +152,14 @@ class FixpointEngine {
           Exec(cr.base, 0, binding, emit(cr));
         }
       }
+      if (aborted_) return abort_status_;
       flush_buffer(&delta);
     }
     result_.num_derived_ += static_cast<int64_t>(delta.size());
     ++result_.num_iterations_;
     std::vector<FlatAtom> next_delta;
     while (!delta.empty()) {
+      MD_RETURN_NOT_OK(ControlCheck());
       LoadDelta(delta);
       next_delta.clear();
       for (const CompiledRule& cr : compiled_->rules()) {
@@ -168,6 +174,7 @@ class FixpointEngine {
             binding.assign(std::max(cr.num_vars, 1), -1);
             Exec(dp.plan, 0, binding, emit(cr));
           }
+          if (aborted_) return abort_status_;
           flush_buffer(&next_delta);
         }
       }
@@ -190,6 +197,31 @@ class FixpointEngine {
     int32_t b;
     int8_t arity;
   };
+
+  /// Deadline/cancellation poll between rounds (full check, cheap at round
+  /// granularity). No-op without an EvalControl.
+  util::Status ControlCheck() {
+    if (aborted_) return abort_status_;
+    return options_.control != nullptr ? options_.control->Check()
+                                       : util::Status::OK();
+  }
+
+  /// Strided poll inside the join enumeration: one call per Exec step visit,
+  /// so overshoot stays within one ticker stride even when the enumeration
+  /// never emits (every candidate failing the last check is exactly the
+  /// pathological shape a deadline must bound). Returns false once aborted;
+  /// the recursion then unwinds and the engine returns abort_status_.
+  bool TickStep() {
+    if (aborted_) return false;
+    if (!ticker_.active()) return true;
+    util::Status s = ticker_.Tick();
+    if (!s.ok()) {
+      aborted_ = true;
+      abort_status_ = std::move(s);
+      return false;
+    }
+    return true;
+  }
 
   util::Status Setup() {
     MD_RETURN_NOT_OK(CheckSafety(program_));
@@ -359,6 +391,7 @@ class FixpointEngine {
   template <typename Emit>
   void Exec(const RulePlan& plan, size_t depth, std::vector<int32_t>& binding,
             const Emit& emit) {
+    if (!TickStep()) return;  // deadline/cancel fired: unwind the enumeration
     if (depth == plan.steps.size()) {
       emit(binding);
       return;
@@ -464,6 +497,9 @@ class FixpointEngine {
   const Program& program_;
   const EdbSource& edb_;
   const EvalOptions& options_;
+  util::EvalTicker ticker_;
+  bool aborted_ = false;
+  util::Status abort_status_ = util::Status::OK();
   int32_t domain_size_;
   std::optional<CompiledProgram> compiled_;
 

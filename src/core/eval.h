@@ -7,6 +7,7 @@
 #include "src/core/ast.h"
 #include "src/core/database.h"
 #include "src/core/nodeset.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 /// \file eval.h
@@ -107,6 +108,10 @@ struct EvalOptions {
   /// Abort with ResourceExhausted after this many derived atoms (guard for
   /// property tests over random programs). -1 = unlimited.
   int64_t max_derived = -1;
+  /// Per-request deadline / cancellation, polled between rules and (strided)
+  /// inside the join enumeration; evaluation unwinds with kDeadlineExceeded
+  /// or kCancelled. nullptr = unbounded, zero overhead on the hot path.
+  const util::EvalControl* control = nullptr;
 };
 
 /// Naive evaluation: literally iterates T_P until fixpoint.

@@ -369,10 +369,15 @@ util::Result<GroundPlan> GroundPlan::Compile(const Program& program) {
 class GroundedEvaluator {
  public:
   GroundedEvaluator(const GroundPlan::Impl& plan, const tree::Tree& t,
-                    GroundArena& arena)
-      : plan_(plan), tree_(t), arena_(arena), n_(t.size()) {}
+                    GroundArena& arena, const util::EvalControl* control)
+      : plan_(plan), tree_(t), arena_(arena), control_(control),
+        ticker_(control), n_(t.size()) {}
 
   util::Result<EvalResult> Run(GroundStats* stats) {
+    // Fast-fail: a request already past its bounds (queue delay, slow parse)
+    // must not ground anything. Also makes expiry deterministic for trees
+    // smaller than the ticker stride.
+    if (control_ != nullptr) MD_RETURN_NOT_OK(control_->Check());
     arena_.flat.Clear();
     nullary_base_ = plan_.num_unary * n_;
     bridge_base_ = nullary_base_ + plan_.num_nullary;
@@ -389,9 +394,16 @@ class GroundedEvaluator {
       }
     }
 
-    for (const GroundPlan::Impl::RulePlan& rp : plan_.rules) GroundRule(rp);
+    // Grounding sweep: each rule replays its schedule over all anchor nodes,
+    // ticking the deadline poll per node; the sweep unwinds mid-rule when it
+    // fires. The Horn solve below polls its own propagation queue.
+    for (const GroundPlan::Impl::RulePlan& rp : plan_.rules) {
+      GroundRule(rp);
+      if (aborted_) return abort_status_;
+    }
 
-    const std::vector<bool>& model = SolveHorn(arena_.flat, &arena_.horn);
+    MD_RETURN_NOT_OK(SolveHornBounded(arena_.flat, &arena_.horn, control_));
+    const std::vector<bool>& model = arena_.horn.value;
 
     EvalResult result;
     result.query_pred_ = plan_.query_pred;
@@ -452,6 +464,7 @@ class GroundedEvaluator {
     for (const GroundPlan::Impl::ComponentPlan& cp : rp.bridges) {
       GroundComponent(rp, cp, /*head_pred=*/-1,
                       bridge_base_ + cp.bridge_slot, /*extra_body=*/{});
+      if (aborted_) return;
       arena_.shared_body.push_back(bridge_base_ + cp.bridge_slot);
     }
 
@@ -489,6 +502,14 @@ class GroundedEvaluator {
     binding.assign(std::max(rp.num_vars, 1), tree::kNoNode);
 
     for (tree::NodeId node = 0; node < n_; ++node) {
+      if (ticker_.active()) {
+        util::Status s = ticker_.Tick();
+        if (!s.ok()) {
+          aborted_ = true;
+          abort_status_ = std::move(s);
+          return;
+        }
+      }
       binding[cp.anchor] = node;
       bool failed = false;
       for (const GroundPlan::Impl::Step& s : cp.steps) {
@@ -577,6 +598,10 @@ class GroundedEvaluator {
   const GroundPlan::Impl& plan_;
   const tree::Tree& tree_;
   GroundArena& arena_;
+  const util::EvalControl* control_;
+  util::EvalTicker ticker_;
+  bool aborted_ = false;
+  util::Status abort_status_ = util::Status::OK();
   int32_t n_;
   int32_t nullary_base_ = 0;
   int32_t bridge_base_ = 0;
@@ -585,10 +610,11 @@ class GroundedEvaluator {
 util::Result<EvalResult> EvaluateGrounded(const GroundPlan& plan,
                                           const tree::Tree& t,
                                           GroundArena* arena,
-                                          GroundStats* stats) {
+                                          GroundStats* stats,
+                                          const util::EvalControl* control) {
   GroundArena local;
-  GroundedEvaluator evaluator(*plan.impl_, t, arena != nullptr ? *arena
-                                                               : local);
+  GroundedEvaluator evaluator(*plan.impl_, t,
+                              arena != nullptr ? *arena : local, control);
   return evaluator.Run(stats);
 }
 

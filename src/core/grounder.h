@@ -7,6 +7,7 @@
 #include "src/core/eval.h"
 #include "src/core/horn.h"
 #include "src/tree/tree.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 /// \file grounder.h
@@ -95,16 +96,18 @@ class GroundPlan {
 
   friend util::Result<EvalResult> EvaluateGrounded(const GroundPlan&,
                                                    const tree::Tree&,
-                                                   GroundArena*, GroundStats*);
+                                                   GroundArena*, GroundStats*,
+                                                   const util::EvalControl*);
 };
 
 /// Replays a compiled plan over one tree. `arena` may be nullptr (a local
 /// arena is used); passing a per-worker arena amortizes all clause-arena and
-/// solver allocations across documents.
-util::Result<EvalResult> EvaluateGrounded(const GroundPlan& plan,
-                                          const tree::Tree& t,
-                                          GroundArena* arena = nullptr,
-                                          GroundStats* stats = nullptr);
+/// solver allocations across documents. `control` (nullable) is polled
+/// cooperatively during the node sweep and the Horn solve — a deadline or
+/// cancellation unwinds with the typed status instead of finishing the page.
+util::Result<EvalResult> EvaluateGrounded(
+    const GroundPlan& plan, const tree::Tree& t, GroundArena* arena = nullptr,
+    GroundStats* stats = nullptr, const util::EvalControl* control = nullptr);
 
 /// Evaluation engine selection for the facade below.
 enum class Engine {

@@ -25,6 +25,14 @@ std::vector<bool> SolveHorn(const FlatHornInstance& instance) {
 
 const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
                                    HornSolveScratch* scratch) {
+  util::Status status = SolveHornBounded(instance, scratch, nullptr);
+  MD_CHECK(status.ok());  // unbounded solve cannot fail
+  return scratch->value;
+}
+
+util::Status SolveHornBounded(const FlatHornInstance& instance,
+                              HornSolveScratch* scratch,
+                              const util::EvalControl* control) {
   const int32_t n = instance.num_atoms;
   const int32_t num_clauses = static_cast<int32_t>(instance.heads.size());
   std::vector<bool>& value = scratch->value;
@@ -64,7 +72,11 @@ const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
     }
   }
 
+  util::EvalTicker ticker(control);
   while (!queue.empty()) {
+    // One tick per popped atom: propagation touches each atom at most once,
+    // so the strided poll adds one decrement to O(#literals) total work.
+    MD_RETURN_NOT_OK(ticker.Tick());
     int32_t a = queue.back();
     queue.pop_back();
     for (int32_t i = occ_start[a]; i < occ_start[a + 1]; ++i) {
@@ -78,7 +90,7 @@ const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
       }
     }
   }
-  return value;
+  return util::Status::OK();
 }
 
 }  // namespace mdatalog::core

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/deadline.h"
+#include "src/util/status.h"
+
 /// \file horn.h
 /// Linear-time propositional Horn inference (Proposition 3.5). The solver is
 /// the classic unit-propagation scheme of Dowling–Gallier / Minoux's LTUR:
@@ -92,5 +95,14 @@ std::vector<bool> SolveHorn(const FlatHornInstance& instance);
 /// the scratch has warmed up to the instance size.
 const std::vector<bool>& SolveHorn(const FlatHornInstance& instance,
                                    HornSolveScratch* scratch);
+
+/// SolveHorn with cooperative deadline/cancellation: the unit-propagation
+/// queue polls `control` (strided) and unwinds with kDeadlineExceeded /
+/// kCancelled, leaving scratch->value partially propagated (do not read it
+/// on error). `control` may be nullptr — then this is exactly
+/// SolveHorn(instance, scratch).
+util::Status SolveHornBounded(const FlatHornInstance& instance,
+                              HornSolveScratch* scratch,
+                              const util::EvalControl* control);
 
 }  // namespace mdatalog::core

@@ -45,12 +45,15 @@ class ElogEvaluator {
   /// rule walk along with the validation.
   ElogEvaluator(const ElogProgram& program, const Tree& t, int64_t budget,
                 bool validate = true,
-                const std::vector<std::string>* patterns = nullptr)
+                const std::vector<std::string>* patterns = nullptr,
+                const util::EvalControl* control = nullptr)
       : program_(program),
         t_(t),
         budget_(budget),
         validate_(validate),
         patterns_(patterns),
+        control_(control),
+        ticker_(control),
         ranks_(t.PreorderRanks()) {
     extents_["root"] = std::set<NodeId>{t.root()};
   }
@@ -65,6 +68,7 @@ class ElogEvaluator {
     }
     bool changed = true;
     while (changed) {
+      if (control_ != nullptr) MD_RETURN_NOT_OK(control_->Check());
       changed = false;
       for (const ElogRule& rule : program_.rules()) {
         MD_ASSIGN_OR_RETURN(bool grew, ApplyRule(rule));
@@ -96,6 +100,9 @@ class ElogEvaluator {
           rule.is_specialization() ? std::vector<NodeId>{p}
                                    : PathTargets(t_, p, rule.subelem);
       for (NodeId x : candidates) {
+        // Strided deadline/cancel poll: the (parent × candidate) product is
+        // where a pathological page spends its time.
+        MD_RETURN_NOT_OK(ticker_.Tick());
         if (head_extent.count(x) > 0) continue;
         std::map<std::string, NodeId> binding = {{rule.parent_var, p},
                                                  {rule.head_var, x}};
@@ -117,6 +124,10 @@ class ElogEvaluator {
   util::Result<bool> CheckConditions(const ElogRule& rule,
                                      std::map<std::string, NodeId>& binding,
                                      size_t i) {
+    // One decrement per backtracking step: condition chains with unbound
+    // pattern-ref / contains variables branch combinatorially, so the poll
+    // must live inside the recursion, not only at the candidate level.
+    MD_RETURN_NOT_OK(ticker_.Tick());
     if (i == rule.conditions.size()) return true;
     const ElogCondition& c = rule.conditions[i];
     using K = ElogCondition::Kind;
@@ -268,6 +279,8 @@ class ElogEvaluator {
   int64_t budget_;
   bool validate_;
   const std::vector<std::string>* patterns_;  // nullable
+  const util::EvalControl* control_;          // nullable
+  util::EvalTicker ticker_;
   std::vector<int32_t> ranks_;
   std::map<std::string, std::set<NodeId>> extents_;
 };
@@ -275,9 +288,11 @@ class ElogEvaluator {
 }  // namespace
 
 util::Result<ElogResult> EvaluateElog(const ElogProgram& program,
-                                      const Tree& t,
-                                      int64_t max_derivations) {
-  return ElogEvaluator(program, t, max_derivations).Run();
+                                      const Tree& t, int64_t max_derivations,
+                                      const util::EvalControl* control) {
+  return ElogEvaluator(program, t, max_derivations, /*validate=*/true,
+                       /*patterns=*/nullptr, control)
+      .Run();
 }
 
 util::Result<PreparedElogProgram> PreparedElogProgram::Prepare(
@@ -290,10 +305,10 @@ util::Result<PreparedElogProgram> PreparedElogProgram::Prepare(
 }
 
 util::Result<ElogResult> EvaluateElog(const PreparedElogProgram& prepared,
-                                      const Tree& t,
-                                      int64_t max_derivations) {
+                                      const Tree& t, int64_t max_derivations,
+                                      const util::EvalControl* control) {
   return ElogEvaluator(prepared.program(), t, max_derivations,
-                       /*validate=*/false, &prepared.patterns())
+                       /*validate=*/false, &prepared.patterns(), control)
       .Run();
 }
 

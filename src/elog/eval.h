@@ -6,6 +6,7 @@
 
 #include "src/elog/ast.h"
 #include "src/tree/tree.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 /// \file eval.h
@@ -33,11 +34,18 @@ struct ElogResult {
 std::vector<tree::NodeId> PathTargets(const tree::Tree& t, tree::NodeId start,
                                       const ElogPath& path);
 
+/// Default bound on total pattern-instance insertions (guard against
+/// pathological programs).
+inline constexpr int64_t kDefaultMaxDerivations = 1 << 22;
+
 /// Evaluates the program. `max_derivations` bounds total pattern-instance
-/// insertions (guard against pathological programs).
-util::Result<ElogResult> EvaluateElog(const ElogProgram& program,
-                                      const tree::Tree& t,
-                                      int64_t max_derivations = 1 << 22);
+/// insertions; `control` (nullable) is polled cooperatively inside the
+/// pattern fixpoint — a deadline or cancellation unwinds with the typed
+/// status (kDeadlineExceeded / kCancelled) instead of finishing the page.
+util::Result<ElogResult> EvaluateElog(
+    const ElogProgram& program, const tree::Tree& t,
+    int64_t max_derivations = kDefaultMaxDerivations,
+    const util::EvalControl* control = nullptr);
 
 /// An Elog program validated once, for repeated evaluation over many
 /// documents: the structural checks of ValidateElog (and the pattern-list
@@ -62,8 +70,9 @@ class PreparedElogProgram {
 };
 
 /// Evaluates a prepared program, skipping re-validation.
-util::Result<ElogResult> EvaluateElog(const PreparedElogProgram& prepared,
-                                      const tree::Tree& t,
-                                      int64_t max_derivations = 1 << 22);
+util::Result<ElogResult> EvaluateElog(
+    const PreparedElogProgram& prepared, const tree::Tree& t,
+    int64_t max_derivations = kDefaultMaxDerivations,
+    const util::EvalControl* control = nullptr);
 
 }  // namespace mdatalog::elog

@@ -1,0 +1,96 @@
+#include "src/runtime/admission.h"
+
+#include <algorithm>
+
+#include "src/util/bits.h"
+
+namespace mdatalog::runtime {
+
+namespace {
+
+/// Four derived probe indices per key: splitmix remixes of the key hash with
+/// distinct odd constants. The caches hand us an already-mixed 64-bit hash,
+/// but deriving four *independent* row indices from it still needs per-row
+/// diffusion — xor-by-constant alone would make the rows collide in
+/// lockstep.
+uint64_t Remix(uint64_t h, uint64_t seed) { return util::Mix64(h + seed); }
+
+constexpr uint64_t kRowSeeds[4] = {
+    0x9e3779b97f4a7c15ULL,
+    0xc2b2ae3d27d4eb4fULL,
+    0x165667b19e3779f9ULL,
+    0x27d4eb2f165667c5ULL,
+};
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(int32_t num_counters) {
+  const int32_t n = util::RoundUpPow2(std::max(num_counters, 1024));
+  counter_mask_ = static_cast<uint32_t>(n - 1);
+  table_.assign(static_cast<size_t>(n) / 16 + 1, 0);  // 16 counters per word
+  door_.assign(static_cast<size_t>(n) / 64 + 1, 0);
+  // Age once the window has seen ~10x the counter capacity: frequent keys
+  // reach saturation well before that, and halving keeps the sketch a
+  // sliding window rather than an all-time popularity contest.
+  sample_period_ = static_cast<int64_t>(n) * 10;
+}
+
+bool FrequencySketch::DoorkeeperContains(uint64_t key_hash) const {
+  const uint32_t b0 = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[0])) &
+                      counter_mask_;
+  const uint32_t b1 = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[1])) &
+                      counter_mask_;
+  return (door_[b0 >> 6] & (1ULL << (b0 & 63))) != 0 &&
+         (door_[b1 >> 6] & (1ULL << (b1 & 63))) != 0;
+}
+
+void FrequencySketch::DoorkeeperInsert(uint64_t key_hash) {
+  const uint32_t b0 = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[0])) &
+                      counter_mask_;
+  const uint32_t b1 = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[1])) &
+                      counter_mask_;
+  door_[b0 >> 6] |= 1ULL << (b0 & 63);
+  door_[b1 >> 6] |= 1ULL << (b1 & 63);
+}
+
+void FrequencySketch::RecordAccess(uint64_t key_hash) {
+  if (++samples_ >= sample_period_) Age();
+  if (!DoorkeeperContains(key_hash)) {
+    // First sighting in this window: the one-hit-wonder long tail stops
+    // here and never touches the counters.
+    DoorkeeperInsert(key_hash);
+    return;
+  }
+  for (int row = 0; row < 4; ++row) {
+    const uint32_t idx = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[row])) &
+                         counter_mask_;
+    const uint32_t shift = (idx & 15) * 4;
+    const uint64_t cur = (table_[idx >> 4] >> shift) & 0xF;
+    if (cur < 15) {
+      table_[idx >> 4] += 1ULL << shift;  // saturating 4-bit increment
+    }
+  }
+}
+
+int32_t FrequencySketch::EstimateFrequency(uint64_t key_hash) const {
+  uint64_t freq = 15;
+  for (int row = 0; row < 4; ++row) {
+    const uint32_t idx = static_cast<uint32_t>(Remix(key_hash, kRowSeeds[row])) &
+                         counter_mask_;
+    freq = std::min(freq, (table_[idx >> 4] >> ((idx & 15) * 4)) & 0xF);
+  }
+  return static_cast<int32_t>(freq) + (DoorkeeperContains(key_hash) ? 1 : 0);
+}
+
+void FrequencySketch::Age() {
+  // Halve every 4-bit counter in place, word-parallel: clear each counter's
+  // low bit, then shift the whole word right (0x7777… masks the bit that
+  // would otherwise leak into the neighboring counter).
+  for (uint64_t& word : table_) {
+    word = (word >> 1) & 0x7777777777777777ULL;
+  }
+  std::fill(door_.begin(), door_.end(), 0);
+  samples_ = 0;
+}
+
+}  // namespace mdatalog::runtime

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file admission.h
+/// TinyLFU cache admission (Einziger, Friedman & Manes, "TinyLFU: A Highly
+/// Efficient Cache Admission Policy"). Plain LRU admits every page, so a
+/// one-hit crawl of distinct cold pages evicts the hot wrapper working set —
+/// exactly the mixed traffic a serving front sees. TinyLFU keeps an
+/// approximate access-frequency history in O(1) space and admits a candidate
+/// only when it is historically more popular than the LRU victim it would
+/// displace.
+///
+/// Two structures:
+///  * FrequencySketch — a count-min sketch of 4-bit counters (4 hash rows)
+///    with periodic aging (all counters halved every sample_period accesses),
+///    so the history is a sliding window, not an all-time count;
+///  * a doorkeeper bloom filter in front of the sketch: the first access to a
+///    key only sets doorkeeper bits, so the one-hit-wonder long tail never
+///    pollutes the counters.
+///
+/// Thread safety: none — instances are owned per cache shard and mutated
+/// under the shard's mutex (shared-nothing, like the rest of the shard).
+
+namespace mdatalog::runtime {
+
+/// Count-min sketch over 4-bit saturating counters, plus the doorkeeper.
+class FrequencySketch {
+ public:
+  /// `num_counters` is rounded up to a power of two (min 1024). Size it at
+  /// ~8-16x the expected number of resident entries; 4 bits saturate at 15,
+  /// which is plenty to rank hot against cold.
+  explicit FrequencySketch(int32_t num_counters);
+
+  /// Records one access. First sight of a key (since the last aging) only
+  /// marks the doorkeeper; repeat sightings bump the counters.
+  void RecordAccess(uint64_t key_hash);
+
+  /// Approximate access count of the key within the current window:
+  /// min over the 4 rows, plus 1 if the doorkeeper has seen it.
+  int32_t EstimateFrequency(uint64_t key_hash) const;
+
+  /// Total accesses recorded since the last aging (test/observability).
+  int64_t samples() const { return samples_; }
+  int64_t sample_period() const { return sample_period_; }
+
+ private:
+  void Age();  // halve every counter, clear the doorkeeper
+
+  bool DoorkeeperContains(uint64_t key_hash) const;
+  void DoorkeeperInsert(uint64_t key_hash);
+
+  uint32_t counter_mask_ = 0;     // num_counters - 1 (power of two)
+  std::vector<uint64_t> table_;   // 16 4-bit counters per word
+  std::vector<uint64_t> door_;    // doorkeeper bloom bits (2 probes)
+  int64_t samples_ = 0;
+  int64_t sample_period_ = 0;
+};
+
+/// The admission decision: candidate vs LRU victim by sketch frequency.
+class TinyLfuAdmission {
+ public:
+  explicit TinyLfuAdmission(int32_t num_counters)
+      : sketch_(num_counters) {}
+
+  /// Feed every cache access (hit or miss) so the sketch tracks popularity.
+  void RecordAccess(uint64_t key_hash) { sketch_.RecordAccess(key_hash); }
+
+  /// True iff the candidate should displace the victim: strictly more
+  /// popular in the sketch window. Ties reject — churn protection: a stream
+  /// of equally-cold keys must not rotate the cache.
+  bool Admit(uint64_t candidate_hash, uint64_t victim_hash) const {
+    return sketch_.EstimateFrequency(candidate_hash) >
+           sketch_.EstimateFrequency(victim_hash);
+  }
+
+  int32_t EstimateFrequency(uint64_t key_hash) const {
+    return sketch_.EstimateFrequency(key_hash);
+  }
+
+ private:
+  FrequencySketch sketch_;
+};
+
+}  // namespace mdatalog::runtime

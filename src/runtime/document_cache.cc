@@ -1,7 +1,9 @@
 #include "src/runtime/document_cache.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/util/bits.h"
 #include "src/util/check.h"
 
 namespace mdatalog::runtime {
@@ -57,9 +59,39 @@ util::Result<std::shared_ptr<const CachedDocument>> CachedDocument::Parse(
   return std::shared_ptr<const CachedDocument>(std::move(cached));
 }
 
-DocumentCache::DocumentCache(int64_t byte_budget)
-    : byte_budget_(byte_budget) {
-  stats_.byte_budget = byte_budget;
+uint64_t DocumentCache::KeyHash64(const Hash128& content_hash,
+                                  const std::string& attr) {
+  // Both 128-bit halves plus the projection attribute: entries that differ
+  // only in projection must shard/sketch independently.
+  uint64_t h = content_hash.lo * 1099511628211ULL ^ content_hash.hi;
+  if (!attr.empty()) h ^= HashBytes(attr);
+  return util::Mix64(h);
+}
+
+DocumentCache::DocumentCache(const DocumentCacheOptions& options)
+    : byte_budget_(options.byte_budget),
+      shard_byte_budget_(
+          options.byte_budget <= 0
+              ? 0
+              : std::max<int64_t>(options.byte_budget /
+                                      util::RoundUpPow2(options.num_shards),
+                                  1)) {
+  const int32_t n = util::RoundUpPow2(options.num_shards);
+  shard_mask_ = static_cast<uint64_t>(n - 1);
+  shards_.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (options.tinylfu_admission) {
+      int32_t counters = options.sketch_counters;
+      if (counters <= 0) {
+        // ~8-16x the expected resident entries; documents run ~64KB.
+        counters = static_cast<int32_t>(std::clamp<int64_t>(
+            shard_byte_budget_ / (64 << 10) * 16, 1024, 1 << 20));
+      }
+      shard->lfu.emplace(counters);
+    }
+    shards_.push_back(std::move(shard));
+  }
 }
 
 util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
@@ -71,20 +103,24 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     std::string_view html, const std::string& project_attr,
     const Hash128& content_hash) {
   Key key{content_hash, project_attr};
+  const uint64_t key_hash = KeyHash64(content_hash, project_attr);
+  Shard& shard = ShardFor(key_hash);
+
   if (byte_budget_ <= 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
     // fall through to an uncached parse below (outside the lock)
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-      RefreshChargeAndEvict(lru_.begin());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.lfu.has_value()) shard.lfu->RecordAccess(key_hash);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      RefreshChargeAndEvict(shard, shard.lru.begin());
       return it->second->doc;
     }
-    ++stats_.misses;
+    ++shard.misses;
   }
 
   // Parse outside the lock: parsing is the expensive part, and concurrent
@@ -95,37 +131,83 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
                       CachedDocument::Parse(html, project_attr));
   if (byte_budget_ <= 0) return doc;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     // Lost the parse race; serve the admitted copy.
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->doc;
   }
-  lru_.push_front(Entry{key, doc, 0});
-  index_.emplace(key, lru_.begin());
-  ++stats_.entries;
-  RefreshChargeAndEvict(lru_.begin());
+  const int64_t candidate_bytes = doc->ApproxBytes();
+  if (shard.lfu.has_value()) {
+    // TinyLFU admission: the candidate may only displace resident entries it
+    // out-ranks in the frequency sketch. Ties reject (churn protection — a
+    // stream of equally-cold keys must not rotate the shard).
+    while (shard.bytes_in_use + candidate_bytes > shard_byte_budget_ &&
+           !shard.lru.empty()) {
+      if (!shard.lfu->Admit(key_hash, shard.lru.back().key_hash)) {
+        ++shard.admission_rejects;
+        return doc;  // served uncached; the resident set stays intact
+      }
+      EvictBack(shard);
+    }
+  }
+  shard.lru.push_front(Entry{key, key_hash, doc, candidate_bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes_in_use += candidate_bytes;
+  // Plain-LRU path (and the oversized-candidate case): trim the tail, never
+  // the entry just inserted.
+  while (shard.bytes_in_use > shard_byte_budget_ && shard.lru.size() > 1) {
+    EvictBack(shard);
+  }
   return doc;
 }
 
-void DocumentCache::RefreshChargeAndEvict(std::list<Entry>::iterator it) {
+void DocumentCache::Recharge(const Hash128& content_hash,
+                             const std::string& project_attr) {
+  if (byte_budget_ <= 0) return;
+  Key key{content_hash, project_attr};
+  const uint64_t key_hash = KeyHash64(content_hash, project_attr);
+  Shard& shard = ShardFor(key_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  RefreshChargeAndEvict(shard, it->second);
+}
+
+void DocumentCache::RefreshChargeAndEvict(Shard& shard,
+                                          std::list<Entry>::iterator it) {
   const int64_t fresh = it->doc->ApproxBytes();
-  stats_.bytes_in_use += fresh - it->charged_bytes;
+  shard.bytes_in_use += fresh - it->charged_bytes;
   it->charged_bytes = fresh;
-  while (stats_.bytes_in_use > byte_budget_ && lru_.size() > 1) {
-    Entry& victim = lru_.back();
-    stats_.bytes_in_use -= victim.charged_bytes;
-    ++stats_.evictions;
-    --stats_.entries;
-    index_.erase(victim.key);
-    lru_.pop_back();
+  while (shard.bytes_in_use > shard_byte_budget_ && shard.lru.size() > 1 &&
+         std::prev(shard.lru.end()) != it) {
+    EvictBack(shard);
   }
 }
 
+void DocumentCache::EvictBack(Shard& shard) {
+  Entry& victim = shard.lru.back();
+  shard.bytes_in_use -= victim.charged_bytes;
+  ++shard.evictions;
+  shard.index.erase(victim.key);
+  shard.lru.pop_back();
+}
+
 DocumentCacheStats DocumentCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DocumentCacheStats out;
+  out.byte_budget = byte_budget_;
+  out.shards = static_cast<int32_t>(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.admission_rejects += shard->admission_rejects;
+    out.bytes_in_use += shard->bytes_in_use;
+    out.entries += static_cast<int32_t>(shard->lru.size());
+  }
+  return out;
 }
 
 }  // namespace mdatalog::runtime

@@ -8,9 +8,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/database.h"
 #include "src/html/parser.h"
+#include "src/runtime/admission.h"
 #include "src/tree/tree.h"
 #include "src/util/result.h"
 
@@ -21,7 +23,15 @@
 /// retries). The cache parses each distinct page once and shares the
 /// immutable artifacts — HTML parse, attribute-projected tree, TreeDatabase
 /// EDB materializations — between all concurrent queries, keyed by content
-/// hash with LRU eviction under a byte budget.
+/// hash.
+///
+/// Production hardening (vs the original single-mutex LRU):
+///  * the store is sharded N ways by key hash — shared-nothing per-shard
+///    mutexes and per-shard byte budgets, so a hot document serializes only
+///    its own shard, never unrelated workers;
+///  * admission is TinyLFU (admission.h): a candidate only displaces the LRU
+///    victim when the frequency sketch ranks it more popular, so one-hit
+///    scan traffic cannot evict the hot working set.
 
 namespace mdatalog::runtime {
 
@@ -65,9 +75,10 @@ class CachedDocument {
   const core::TreeDatabase& edb() const { return *edb_; }
 
   /// Approximate heap footprint. Grows as evaluations materialize further
-  /// EDB relations; the cache refreshes its charge on every hit. O(1): the
-  /// immutable tree part is measured once at parse time and the EDB keeps an
-  /// incremental counter — no heap walk on the serving hot path.
+  /// EDB relations; the cache refreshes its charge on every hit and on
+  /// Recharge. O(1): the immutable tree part is measured once at parse time
+  /// and the EDB keeps an incremental counter — no heap walk on the serving
+  /// hot path.
   int64_t ApproxBytes() const { return static_bytes_ + edb_->ApproxBytes(); }
 
  private:
@@ -81,31 +92,61 @@ class CachedDocument {
   int64_t static_bytes_ = 0;  // trees + parse, fixed after construction
 };
 
+struct DocumentCacheOptions {
+  /// Total byte budget, split evenly across shards; 0 disables caching.
+  int64_t byte_budget = 64 << 20;
+  /// Shard count, rounded up to a power of two (1 = the original
+  /// single-mutex behavior). Default 8: enough that 8 workers hammering one
+  /// hot page rarely collide with unrelated traffic.
+  int32_t num_shards = 8;
+  /// TinyLFU admission (scan resistance). false = plain LRU: every miss is
+  /// admitted, evicting from the tail — the pre-hardening behavior.
+  bool tinylfu_admission = true;
+  /// Counters per shard sketch; 0 = auto (derived from the shard budget,
+  /// assuming ~64KB documents, clamped to [1024, 1M]).
+  int32_t sketch_counters = 0;
+};
+
 struct DocumentCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
+  /// Misses parsed but denied a cache slot by TinyLFU (served uncached).
+  int64_t admission_rejects = 0;
   int64_t bytes_in_use = 0;
   int64_t byte_budget = 0;
   int32_t entries = 0;
+  int32_t shards = 0;
 };
 
-/// Content-addressed LRU document cache with byte-budget accounting.
+/// Content-addressed, sharded document cache with byte-budget accounting and
+/// TinyLFU admission.
 ///
-/// Key: (FNV-1a of the HTML bytes, projection attribute) — two wrappers with
-/// different projections see different trees and must not share an entry.
-/// Eviction: least-recently-used entries are dropped until the budget holds
-/// again; the entry just touched is never evicted (a single oversized
-/// document is served but not retained beside other entries). Evicted
-/// documents stay alive as long as in-flight queries hold their shared_ptr.
+/// Key: (128-bit content hash of the HTML bytes, projection attribute) — two
+/// wrappers with different projections see different trees and must not
+/// share an entry. The key hash picks the shard; each shard is an
+/// independent LRU under byte_budget/num_shards with its own mutex and
+/// frequency sketch (shared-nothing: no cross-shard locks anywhere).
+///
+/// Eviction: least-recently-used entries of the shard are dropped until its
+/// budget holds again; the entry just touched is never evicted (a single
+/// oversized document is served but not retained beside other entries).
+/// Admission: on a miss that would overflow the shard, the candidate must
+/// out-rank the LRU victim in the frequency sketch or it is served uncached
+/// (admission_rejects). Evicted documents stay alive as long as in-flight
+/// queries hold their shared_ptr.
 ///
 /// Thread safety: all public methods are safe to call concurrently.
 class DocumentCache {
  public:
-  explicit DocumentCache(int64_t byte_budget);
+  explicit DocumentCache(const DocumentCacheOptions& options);
+  /// Convenience: default sharding/admission at the given budget.
+  explicit DocumentCache(int64_t byte_budget)
+      : DocumentCache(DocumentCacheOptions{.byte_budget = byte_budget}) {}
 
-  /// Returns the shared document for `html`, parsing and admitting it on
-  /// miss. A byte_budget of 0 disables caching (every call parses).
+  /// Returns the shared document for `html`, parsing it on miss (and
+  /// admitting it if the shard's admission policy agrees). A byte_budget of
+  /// 0 disables caching (every call parses).
   util::Result<std::shared_ptr<const CachedDocument>> GetOrParse(
       std::string_view html, const std::string& project_attr);
 
@@ -116,7 +157,18 @@ class DocumentCache {
       std::string_view html, const std::string& project_attr,
       const Hash128& content_hash);
 
+  /// Re-reads the entry's ApproxBytes and re-balances its shard. Call after
+  /// an evaluation that may have materialized EDB relations: the byte charge
+  /// recorded at admission does not include lazily materialized relations,
+  /// and an entry that is never hit again would otherwise occupy budget the
+  /// shard does not know about. No-op if the key is absent (evicted or
+  /// rejected). Does not touch LRU order or hit/miss stats.
+  void Recharge(const Hash128& content_hash, const std::string& project_attr);
+
+  /// Aggregated over all shards.
   DocumentCacheStats stats() const;
+
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
 
  private:
   struct Key {
@@ -133,20 +185,39 @@ class DocumentCache {
   };
   struct Entry {
     Key key;
+    uint64_t key_hash = 0;  // sketch key (also the shard router input)
     std::shared_ptr<const CachedDocument> doc;
     int64_t charged_bytes = 0;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::optional<TinyLfuAdmission> lfu;  // engaged iff tinylfu_admission
+    int64_t bytes_in_use = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t admission_rejects = 0;
+  };
 
-  /// Requires mu_ held. Re-reads `it`'s ApproxBytes (EDB materializations
-  /// grow after admission) and evicts LRU entries other than `it` until the
-  /// budget holds.
-  void RefreshChargeAndEvict(std::list<Entry>::iterator it);
+  static uint64_t KeyHash64(const Hash128& content_hash,
+                            const std::string& attr);
+  Shard& ShardFor(uint64_t key_hash) {
+    return *shards_[(key_hash >> 32) & shard_mask_];
+  }
 
-  const int64_t byte_budget_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  DocumentCacheStats stats_;
+  /// Requires shard.mu held. Re-reads `it`'s ApproxBytes (EDB
+  /// materializations grow after admission) and evicts LRU entries other
+  /// than `it` until the shard budget holds.
+  void RefreshChargeAndEvict(Shard& shard, std::list<Entry>::iterator it);
+  /// Requires shard.mu held. Drops the LRU tail entry.
+  void EvictBack(Shard& shard);
+
+  const int64_t byte_budget_;        // total, across shards
+  const int64_t shard_byte_budget_;  // per shard
+  uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace mdatalog::runtime

@@ -1,10 +1,12 @@
 #include "src/runtime/runtime.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/eval.h"
 #include "src/elog/eval.h"
 #include "src/tree/serialize.h"
+#include "src/util/bits.h"
 #include "src/util/check.h"
 
 namespace mdatalog::runtime {
@@ -12,8 +14,33 @@ namespace mdatalog::runtime {
 WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
     : options_(options),
       programs_(options.program_cache_capacity),
-      documents_(options.document_cache_bytes),
-      pool_(options.num_threads) {}
+      documents_(DocumentCacheOptions{
+          .byte_budget = options.document_cache_bytes,
+          .num_shards = options.document_cache_shards,
+          .tinylfu_admission = options.cache_admission,
+      }),
+      memo_shard_bytes_(
+          options.result_memo_bytes <= 0
+              ? 0
+              : std::max<int64_t>(
+                    options.result_memo_bytes /
+                        util::RoundUpPow2(options.result_memo_shards),
+                    1)),
+      pool_(options.num_threads) {
+  const int32_t n = util::RoundUpPow2(options.result_memo_shards);
+  memo_shard_mask_ = static_cast<uint64_t>(n - 1);
+  memo_shards_.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<MemoShard>();
+    if (options.cache_admission && options.result_memo_bytes > 0) {
+      // Memo entries are small (one XML string); size the sketch at ~16x the
+      // resident count assuming ~4KB entries.
+      shard->lfu.emplace(static_cast<int32_t>(std::clamp<int64_t>(
+          memo_shard_bytes_ / (4 << 10) * 16, 1024, 1 << 20)));
+    }
+    memo_shards_.push_back(std::move(shard));
+  }
+}
 
 WrapperRuntime::~WrapperRuntime() = default;
 
@@ -25,28 +52,52 @@ util::Result<WrapperHandle> WrapperRuntime::Register(
 }
 
 util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
-                                               std::string_view html) {
+                                               std::string_view html,
+                                               const RequestOptions& request) {
   MD_CHECK(handle.program != nullptr);
+  const util::EvalControl control(request.deadline, request.cancel.get());
+  // Fast-fail before any work: a request that arrives already past its
+  // deadline (queue delay) must not hash or parse anything.
+  if (!control.unbounded()) {
+    util::Status s = control.Check();
+    if (!s.ok()) {
+      CountFailure(s);
+      return s;
+    }
+  }
   // One content hash per request, shared by the memo key and the document
   // cache key — the page bytes are scanned exactly once.
   const Hash128 content_hash = HashBytes128(html);
   const MemoKey key{handle.program->fingerprint, content_hash,
                     handle.project_attr};
-  if (std::shared_ptr<const std::string> memoized = MemoLookup(key)) {
+  const uint64_t memo_hash = MemoKeyHash64(key);
+  if (std::shared_ptr<const std::string> memoized =
+          MemoLookup(key, memo_hash)) {
     return *memoized;
   }
 
   MD_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedDocument> doc,
       documents_.GetOrParse(html, handle.project_attr, content_hash));
-  MD_ASSIGN_OR_RETURN(std::string xml, Evaluate(*handle.program, *doc));
-  auto shared = std::make_shared<const std::string>(std::move(xml));
-  MemoInsert(key, shared);
+  util::Result<std::string> xml =
+      Evaluate(*handle.program, *doc,
+               control.unbounded() ? nullptr : &control);
+  // Honest byte accounting: the evaluation may have materialized EDB
+  // relations on the shared TreeDatabase; recharge the shard now rather
+  // than waiting for a hit that may never come.
+  documents_.Recharge(content_hash, handle.project_attr);
+  if (!xml.ok()) {
+    CountFailure(xml.status());
+    return xml.status();
+  }
+  auto shared = std::make_shared<const std::string>(*std::move(xml));
+  MemoInsert(key, memo_hash, shared);
   return *shared;
 }
 
 util::Result<std::string> WrapperRuntime::Evaluate(
-    const CompiledWrapperProgram& program, const CachedDocument& doc) {
+    const CompiledWrapperProgram& program, const CachedDocument& doc,
+    const util::EvalControl* control) {
   using EngineMode = RuntimeOptions::EngineMode;
   const bool grounded =
       options_.engine == EngineMode::kGroundedDatalog ||
@@ -66,13 +117,16 @@ util::Result<std::string> WrapperRuntime::Evaluate(
       // amortize across the documents this thread serves.
       thread_local core::GroundArena arena;
       MD_ASSIGN_OR_RETURN(
-          eval,
-          core::EvaluateGrounded(*program.ground_plan, doc.tree(), &arena));
+          eval, core::EvaluateGrounded(*program.ground_plan, doc.tree(),
+                                       &arena, /*stats=*/nullptr, control));
     } else {
       // The shared, mutex-guarded TreeDatabase: EDB relations materialize on
       // first touch and every later query on this document reuses them.
-      MD_ASSIGN_OR_RETURN(eval,
-                          core::EvaluateSemiNaive(program.tmnf, doc.edb()));
+      core::EvalOptions eval_options;
+      eval_options.control = control;
+      MD_ASSIGN_OR_RETURN(eval, core::EvaluateSemiNaive(program.tmnf,
+                                                        doc.edb(),
+                                                        eval_options));
     }
     const auto& patterns = program.prepared.extraction_patterns;
     for (size_t i = 0; i < patterns.size(); ++i) {
@@ -81,9 +135,9 @@ util::Result<std::string> WrapperRuntime::Evaluate(
       matches.matches[patterns[i]] = eval.Unary(pred);
     }
   } else {
-    MD_ASSIGN_OR_RETURN(matches,
-                        elog::EvaluateElog(program.prepared.program,
-                                           doc.tree()));
+    MD_ASSIGN_OR_RETURN(
+        matches, elog::EvaluateElog(program.prepared.program, doc.tree(),
+                                    elog::kDefaultMaxDerivations, control));
   }
 
   tree::Tree out = wrapper::BuildOutputTree(
@@ -100,34 +154,52 @@ util::Result<std::string> WrapperRuntime::Evaluate(
   return xml;
 }
 
+void WrapperRuntime::CountFailure(const util::Status& status) {
+  if (status.code() != util::StatusCode::kDeadlineExceeded &&
+      status.code() != util::StatusCode::kCancelled) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (status.code() == util::StatusCode::kDeadlineExceeded) {
+    ++deadline_exceeded_;
+  } else {
+    ++cancelled_;
+  }
+}
+
 std::future<util::Result<std::string>> WrapperRuntime::Submit(
-    const WrapperHandle& handle, std::string html) {
+    const WrapperHandle& handle, std::string html,
+    const RequestOptions& request) {
   auto task = std::make_shared<
       std::packaged_task<util::Result<std::string>()>>(
-      [this, handle, html = std::move(html)] { return Wrap(handle, html); });
+      [this, handle, html = std::move(html), request] {
+        return Wrap(handle, html, request);
+      });
   std::future<util::Result<std::string>> future = task->get_future();
   pool_.Submit([task = std::move(task)] { (*task)(); });
   return future;
 }
 
 std::future<util::Result<std::string>> WrapperRuntime::SubmitRef(
-    const WrapperHandle& handle, const std::string* page) {
+    const WrapperHandle& handle, const std::string* page,
+    const RequestOptions& request) {
   auto task = std::make_shared<
       std::packaged_task<util::Result<std::string>()>>(
-      [this, handle, page] { return Wrap(handle, *page); });
+      [this, handle, page, request] { return Wrap(handle, *page, request); });
   std::future<util::Result<std::string>> future = task->get_future();
   pool_.Submit([task = std::move(task)] { (*task)(); });
   return future;
 }
 
 std::vector<util::Result<std::string>> WrapperRuntime::RunBatch(
-    const WrapperHandle& handle, const std::vector<std::string>& pages) {
+    const WrapperHandle& handle, const std::vector<std::string>& pages,
+    const RequestOptions& request) {
   std::vector<std::future<util::Result<std::string>>> futures;
   futures.reserve(pages.size());
   // By reference, not Submit's copy: this function owns `pages` until every
   // future is joined below, so a corpus-sized duplication would buy nothing.
   for (const std::string& page : pages) {
-    futures.push_back(SubmitRef(handle, &page));
+    futures.push_back(SubmitRef(handle, &page, request));
   }
   std::vector<util::Result<std::string>> results;
   results.reserve(pages.size());
@@ -137,39 +209,61 @@ std::vector<util::Result<std::string>> WrapperRuntime::RunBatch(
   return results;
 }
 
-std::shared_ptr<const std::string> WrapperRuntime::MemoLookup(
-    const MemoKey& key) {
-  if (options_.result_memo_bytes <= 0) return nullptr;
-  std::shared_ptr<const std::string> hit;
-  {
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    auto it = memo_index_.find(key);
-    if (it != memo_index_.end()) {
-      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
-      hit = it->second->xml;
-    }
-  }
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  ++(hit != nullptr ? memo_hits_ : memo_misses_);
-  return hit;
+uint64_t WrapperRuntime::MemoKeyHash64(const MemoKey& key) {
+  uint64_t h = key.program_fp * 1099511628211ULL ^ key.content_hash.lo ^
+               key.content_hash.hi;
+  if (!key.attr.empty()) h ^= HashBytes(key.attr);
+  return util::Mix64(h);
 }
 
-void WrapperRuntime::MemoInsert(const MemoKey& key,
+std::shared_ptr<const std::string> WrapperRuntime::MemoLookup(
+    const MemoKey& key, uint64_t key_hash) {
+  if (options_.result_memo_bytes <= 0) return nullptr;
+  MemoShard& shard = MemoShardFor(key_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.lfu.has_value()) shard.lfu->RecordAccess(key_hash);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->xml;
+  }
+  ++shard.misses;
+  return nullptr;
+}
+
+void WrapperRuntime::MemoInsert(const MemoKey& key, uint64_t key_hash,
                                 const std::shared_ptr<const std::string>& xml) {
   if (options_.result_memo_bytes <= 0) return;
   auto entry_cost = [](const MemoEntry& e) {
     return static_cast<int64_t>(e.xml->size() + e.key.attr.size()) +
            static_cast<int64_t>(sizeof(MemoEntry)) + 64;
   };
-  std::lock_guard<std::mutex> lock(memo_mu_);
-  if (memo_index_.contains(key)) return;  // concurrent eval of the same page
-  memo_lru_.push_front(MemoEntry{key, xml});
-  memo_index_.emplace(key, memo_lru_.begin());
-  memo_bytes_ += entry_cost(memo_lru_.front());
-  while (memo_bytes_ > options_.result_memo_bytes && memo_lru_.size() > 1) {
-    memo_bytes_ -= entry_cost(memo_lru_.back());
-    memo_index_.erase(memo_lru_.back().key);
-    memo_lru_.pop_back();
+  MemoShard& shard = MemoShardFor(key_hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.contains(key)) return;  // concurrent eval of the same page
+  const int64_t cost = static_cast<int64_t>(xml->size() + key.attr.size()) +
+                       static_cast<int64_t>(sizeof(MemoEntry)) + 64;
+  if (shard.lfu.has_value()) {
+    // TinyLFU admission, as in the document cache: one-hit results must not
+    // churn the hot memo working set.
+    while (shard.bytes + cost > memo_shard_bytes_ && !shard.lru.empty()) {
+      if (!shard.lfu->Admit(key_hash, shard.lru.back().key_hash)) {
+        ++shard.admission_rejects;
+        return;
+      }
+      shard.bytes -= entry_cost(shard.lru.back());
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+    }
+  }
+  shard.lru.push_front(MemoEntry{key, key_hash, xml});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += cost;
+  while (shard.bytes > memo_shard_bytes_ && shard.lru.size() > 1) {
+    shard.bytes -= entry_cost(shard.lru.back());
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
   }
 }
 
@@ -177,17 +271,20 @@ RuntimeStats WrapperRuntime::stats() const {
   RuntimeStats out;
   out.document_cache = documents_.stats();
   out.program_cache = programs_.stats();
-  {
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    out.memo_bytes = memo_bytes_;
+  for (const auto& shard : memo_shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.memo_hits += shard->hits;
+    out.memo_misses += shard->misses;
+    out.memo_admission_rejects += shard->admission_rejects;
+    out.memo_bytes += shard->bytes;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
-  out.memo_hits = memo_hits_;
-  out.memo_misses = memo_misses_;
   out.pages_wrapped = pages_wrapped_;
   out.grounded_evals = grounded_evals_;
   out.seminaive_evals = seminaive_evals_;
   out.native_evals = native_evals_;
+  out.deadline_exceeded = deadline_exceeded_;
+  out.cancelled = cancelled_;
   return out;
 }
 

@@ -5,14 +5,17 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/runtime/admission.h"
 #include "src/runtime/document_cache.h"
 #include "src/runtime/program_cache.h"
 #include "src/runtime/thread_pool.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 #include "src/wrapper/wrapper.h"
 
@@ -26,6 +29,13 @@
 /// per-page constant factors (HTML re-parse, program re-validation,
 /// plan re-compilation, arena allocation) dominate a serving deployment.
 /// The runtime amortizes every one of them.
+///
+/// Production hardening: the document cache and the result memo are sharded
+/// (shared-nothing per-shard mutexes) with TinyLFU admission, and every
+/// request may carry a deadline and a cancel token (RequestOptions) that the
+/// engines poll cooperatively — a pathological page unwinds with a typed
+/// kDeadlineExceeded / kCancelled status instead of occupying a pool worker
+/// forever.
 
 namespace mdatalog::runtime {
 
@@ -34,11 +44,19 @@ struct RuntimeOptions {
   int32_t num_threads = 1;
   /// Byte budget of the shared-document cache; 0 disables document caching.
   int64_t document_cache_bytes = 64 << 20;
+  /// Document-cache shards (rounded up to a power of two; 1 = single mutex).
+  int32_t document_cache_shards = 8;
   /// Max number of compiled programs kept.
   int32_t program_cache_capacity = 64;
   /// Byte budget for memoized wrap results (wrapping is a pure function of
   /// (program, document), so the memo is exact); 0 disables memoization.
   int64_t result_memo_bytes = 16 << 20;
+  /// Result-memo shards (rounded up to a power of two).
+  int32_t result_memo_shards = 8;
+  /// TinyLFU admission on the document cache and result memo. false = plain
+  /// LRU (admit everything) — the pre-hardening behavior, kept for A/B
+  /// benchmarking and for workloads known to have no scan traffic.
+  bool cache_admission = true;
 
   enum class EngineMode {
     /// Grounded-datalog plan replay when the Corollary 6.4 pipeline
@@ -60,16 +78,32 @@ struct RuntimeOptions {
   EngineMode engine = EngineMode::kAuto;
 };
 
+/// Per-request bounds, threaded from Submit/RunBatch through the engines.
+/// Default-constructed = unbounded (the pre-existing behavior, zero cost).
+struct RequestOptions {
+  /// Absolute deadline; evaluation unwinds with kDeadlineExceeded once it
+  /// passes. The check is cooperative (strided polling inside the fixpoint
+  /// loops), so overshoot is microseconds, not unbounded.
+  util::Deadline deadline;
+  /// Shared cancel flag; one token may cover a whole batch. The runtime
+  /// holds the shared_ptr in the request closure, so the token outlives the
+  /// evaluation. Cancelled requests return kCancelled.
+  std::shared_ptr<util::CancelToken> cancel;
+};
+
 struct RuntimeStats {
   DocumentCacheStats document_cache;
   ProgramCacheStats program_cache;
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
+  int64_t memo_admission_rejects = 0;
   int64_t memo_bytes = 0;
   int64_t pages_wrapped = 0;       // full evaluations (memo hits excluded)
   int64_t grounded_evals = 0;
   int64_t seminaive_evals = 0;
   int64_t native_evals = 0;
+  int64_t deadline_exceeded = 0;   // requests unwound by their deadline
+  int64_t cancelled = 0;           // requests unwound by their cancel token
 };
 
 /// A registered wrapper: the shared compiled program plus the attribute
@@ -94,19 +128,24 @@ class WrapperRuntime {
                                        const std::string& project_attr = "");
 
   /// Wraps one page synchronously on the calling thread, through the caches.
-  /// Returns the output XML.
+  /// Returns the output XML, or kDeadlineExceeded / kCancelled when the
+  /// request's bounds fire mid-evaluation.
   util::Result<std::string> Wrap(const WrapperHandle& handle,
-                                 std::string_view html);
+                                 std::string_view html,
+                                 const RequestOptions& request = {});
 
   /// Enqueues one page on the thread pool.
-  std::future<util::Result<std::string>> Submit(const WrapperHandle& handle,
-                                                std::string html);
+  std::future<util::Result<std::string>> Submit(
+      const WrapperHandle& handle, std::string html,
+      const RequestOptions& request = {});
 
   /// Fans a corpus across the workers and merges deterministically: the
   /// result vector is index-aligned with `pages` regardless of completion
-  /// order (page i's result is at position i, always).
+  /// order (page i's result is at position i, always). `request` applies to
+  /// every page (one deadline / cancel token for the whole batch).
   std::vector<util::Result<std::string>> RunBatch(
-      const WrapperHandle& handle, const std::vector<std::string>& pages);
+      const WrapperHandle& handle, const std::vector<std::string>& pages,
+      const RequestOptions& request = {});
 
   RuntimeStats stats() const;
   int32_t num_threads() const { return pool_.num_threads(); }
@@ -126,44 +165,67 @@ class WrapperRuntime {
     }
   };
   // The XML is held by shared_ptr so lookups copy a pointer, not the
-  // document, while holding memo_mu_ — the hit path's critical section is
-  // O(1), not O(output).
+  // document, while holding the shard mutex — the hit path's critical
+  // section is O(1), not O(output).
   struct MemoEntry {
     MemoKey key;
+    uint64_t key_hash = 0;  // sketch key
     std::shared_ptr<const std::string> xml;
   };
+  /// One shard of the result memo: own mutex, own LRU, own byte budget, own
+  /// frequency sketch — shared-nothing, like the document cache.
+  struct MemoShard {
+    mutable std::mutex mu;
+    std::list<MemoEntry> lru;  // front = most recently used
+    std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash>
+        index;
+    std::optional<TinyLfuAdmission> lfu;
+    int64_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t admission_rejects = 0;
+  };
 
-  std::shared_ptr<const std::string> MemoLookup(const MemoKey& key);
-  void MemoInsert(const MemoKey& key,
+  static uint64_t MemoKeyHash64(const MemoKey& key);
+  MemoShard& MemoShardFor(uint64_t key_hash) {
+    return *memo_shards_[(key_hash >> 32) & memo_shard_mask_];
+  }
+
+  std::shared_ptr<const std::string> MemoLookup(const MemoKey& key,
+                                                uint64_t key_hash);
+  void MemoInsert(const MemoKey& key, uint64_t key_hash,
                   const std::shared_ptr<const std::string>& xml);
 
   /// Submit without copying the page: `page` must stay alive until the
   /// returned future is ready (RunBatch owns the corpus and joins).
-  std::future<util::Result<std::string>> SubmitRef(const WrapperHandle& handle,
-                                                   const std::string* page);
+  std::future<util::Result<std::string>> SubmitRef(
+      const WrapperHandle& handle, const std::string* page,
+      const RequestOptions& request);
 
   /// The uncached evaluation core: engine selection + extent computation +
-  /// output construction over a prepared document.
+  /// output construction over a prepared document. `control` may be null.
   util::Result<std::string> Evaluate(const CompiledWrapperProgram& program,
-                                     const CachedDocument& doc);
+                                     const CachedDocument& doc,
+                                     const util::EvalControl* control);
+
+  /// Books a terminal status into the deadline/cancel counters.
+  void CountFailure(const util::Status& status);
 
   const RuntimeOptions options_;
   ProgramCache programs_;
   DocumentCache documents_;
 
-  mutable std::mutex memo_mu_;
-  std::list<MemoEntry> memo_lru_;  // front = most recently used
-  std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash>
-      memo_index_;
-  int64_t memo_bytes_ = 0;  // guarded by memo_mu_ (lives with the LRU)
+  const int64_t memo_shard_bytes_;  // per-shard budget
+  uint64_t memo_shard_mask_ = 0;
+  std::vector<std::unique_ptr<MemoShard>> memo_shards_;
 
   mutable std::mutex stats_mu_;
-  int64_t memo_hits_ = 0;
-  int64_t memo_misses_ = 0;
   int64_t pages_wrapped_ = 0;
   int64_t grounded_evals_ = 0;
   int64_t seminaive_evals_ = 0;
   int64_t native_evals_ = 0;
+  int64_t deadline_exceeded_ = 0;
+  int64_t cancelled_ = 0;
 
   // Last member on purpose: ~ThreadPool drains queued jobs, and those jobs
   // touch every cache/mutex above — the pool must die (and drain) first.

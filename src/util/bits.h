@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file bits.h
+/// Small bit-math helpers shared by the runtime caches.
+
+namespace mdatalog::util {
+
+/// Smallest power of two >= v, for shard counts and sketch sizes. Inputs are
+/// clamped to [1, 2^30] — beyond that the doubling loop would overflow
+/// (signed UB), and no cache legitimately wants a billion shards.
+inline int32_t RoundUpPow2(int32_t v) {
+  if (v < 1) v = 1;
+  if (v > (1 << 30)) v = 1 << 30;
+  int32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Splitmix64 finalizer: one-round full-avalanche mix. The caches use it so
+/// shard selection (high bits) and sketch rows are well distributed even for
+/// structured key material.
+inline uint64_t Mix64(uint64_t h) {
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace mdatalog::util

@@ -11,6 +11,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

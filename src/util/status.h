@@ -20,6 +20,8 @@ enum class StatusCode {
   kUnimplemented,     ///< feature intentionally out of scope
   kInternal,          ///< invariant violation inside the library (a bug)
   kResourceExhausted, ///< configured limit exceeded (step budget, state budget)
+  kDeadlineExceeded,  ///< per-request deadline expired mid-evaluation
+  kCancelled,         ///< caller cooperatively cancelled the request
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -49,6 +51,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

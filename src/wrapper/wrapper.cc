@@ -68,15 +68,21 @@ Tree BuildOutputTree(const std::vector<std::string>& extraction_patterns,
   return builder.Build();
 }
 
-util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t) {
-  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
-                      elog::EvaluateElog(wrapper.program, t));
+util::Result<Tree> WrapTree(const Wrapper& wrapper, const Tree& t,
+                            const util::EvalControl* control) {
+  MD_ASSIGN_OR_RETURN(
+      elog::ElogResult result,
+      elog::EvaluateElog(wrapper.program, t, elog::kDefaultMaxDerivations,
+                         control));
   return BuildOutputTree(wrapper.extraction_patterns, result, t);
 }
 
-util::Result<Tree> WrapTree(const PreparedWrapper& wrapper, const Tree& t) {
-  MD_ASSIGN_OR_RETURN(elog::ElogResult result,
-                      elog::EvaluateElog(wrapper.program, t));
+util::Result<Tree> WrapTree(const PreparedWrapper& wrapper, const Tree& t,
+                            const util::EvalControl* control) {
+  MD_ASSIGN_OR_RETURN(
+      elog::ElogResult result,
+      elog::EvaluateElog(wrapper.program, t, elog::kDefaultMaxDerivations,
+                         control));
   return BuildOutputTree(wrapper.extraction_patterns, result, t);
 }
 

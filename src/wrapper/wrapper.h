@@ -7,6 +7,7 @@
 #include "src/elog/ast.h"
 #include "src/elog/eval.h"
 #include "src/tree/tree.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 /// \file wrapper.h
@@ -52,12 +53,16 @@ tree::Tree BuildOutputTree(const std::vector<std::string>& extraction_patterns,
                            const tree::Tree& t);
 
 /// Runs the wrapper (native Elog evaluation) and builds the output tree.
-util::Result<tree::Tree> WrapTree(const Wrapper& wrapper, const tree::Tree& t);
+/// `control` (nullable) carries the per-request deadline / cancel token into
+/// the evaluation; the wrap unwinds with kDeadlineExceeded / kCancelled.
+util::Result<tree::Tree> WrapTree(const Wrapper& wrapper, const tree::Tree& t,
+                                  const util::EvalControl* control = nullptr);
 
 /// Same, for a prepared wrapper over a pre-parsed tree: no re-validation, no
 /// re-parse — the entry point the serving runtime's caches feed.
 util::Result<tree::Tree> WrapTree(const PreparedWrapper& wrapper,
-                                  const tree::Tree& t);
+                                  const tree::Tree& t,
+                                  const util::EvalControl* control = nullptr);
 
 /// Convenience: parse HTML, wrap, serialize the result as XML.
 util::Result<std::string> WrapHtmlToXml(const Wrapper& wrapper,

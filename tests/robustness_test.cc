@@ -2,6 +2,8 @@
 // malformed input into a clean Status — never crash, never silently accept.
 // Plus resource-limit behavior (budgets return ResourceExhausted, not hangs).
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 #include "src/caterpillar/eval.h"
@@ -30,11 +32,13 @@ namespace {
 // ---------------------------------------------------------------------------
 
 std::string RandomGarbage(util::Rng& rng, int32_t len) {
-  const char* pool =
+  // string_view, and the bound derived from it: a hand-counted literal pool
+  // size read past the terminator (caught by ASan in CI).
+  constexpr std::string_view pool =
       "abcXY_()[]{}<>/\\.,:;|&~^-=*+\"'0123456789 \t\n%@#!?";
   std::string out;
   for (int32_t i = 0; i < len; ++i) {
-    out += pool[rng.Below(52)];
+    out += pool[rng.Below(pool.size())];
   }
   return out;
 }

@@ -24,6 +24,7 @@
 #include "src/tmnf/pipeline.h"
 #include "src/tree/generator.h"
 #include "src/tree/serialize.h"
+#include "src/util/deadline.h"
 #include "src/util/rng.h"
 #include "src/wrapper/wrapper.h"
 
@@ -124,10 +125,16 @@ TEST(DocumentCacheTest, SharesOneParsePerDistinctContent) {
 
 TEST(DocumentCacheTest, EvictsLruUnderByteBudget) {
   // Budget sized from a real document so the test tracks ApproxBytes drift.
+  // Single shard, plain LRU: this test pins the recency semantics the
+  // TinyLFU tests below build on.
   auto probe = runtime::CachedDocument::Parse(BoardPage(1, 3, 3), "");
   ASSERT_TRUE(probe.ok());
   const int64_t one_doc = (*probe)->ApproxBytes();
-  runtime::DocumentCache cache(2 * one_doc + one_doc / 2);
+  runtime::DocumentCache cache(runtime::DocumentCacheOptions{
+      .byte_budget = 2 * one_doc + one_doc / 2,
+      .num_shards = 1,
+      .tinylfu_admission = false,
+  });
 
   ASSERT_TRUE(cache.GetOrParse(BoardPage(1, 3, 3), "").ok());
   ASSERT_TRUE(cache.GetOrParse(BoardPage(2, 3, 3), "").ok());
@@ -171,6 +178,79 @@ TEST(DocumentCacheTest, AccountsLateEdbMaterialization) {
   auto again = cache.GetOrParse(page, "");
   ASSERT_TRUE(again.ok());
   EXPECT_GT(cache.stats().bytes_in_use, before);
+}
+
+TEST(DocumentCacheTest, RechargeAccountsMaterializationWithoutAHit) {
+  // The budget-honesty fix: an entry whose EDB materializes after admission
+  // must be rechargeable explicitly — a document evaluated once and never
+  // hit again would otherwise occupy bytes the shard doesn't know about.
+  runtime::DocumentCache cache(64 << 20);
+  std::string page = BoardPage(6, 3, 3);
+  const runtime::Hash128 hash = runtime::HashBytes128(page);
+  auto doc = cache.GetOrParse(page, "", hash);
+  ASSERT_TRUE(doc.ok());
+  const int64_t before = cache.stats().bytes_in_use;
+  (void)(*doc)->edb().Get("firstchild", 2);
+  (void)(*doc)->edb().Get("nextsibling", 2);
+  cache.Recharge(hash, "");
+  EXPECT_GT(cache.stats().bytes_in_use, before);
+  // No LRU/stat side effects: recharge is bookkeeping, not an access.
+  EXPECT_EQ(cache.stats().hits, 0);
+  // Recharging an absent key is a no-op.
+  cache.Recharge(runtime::HashBytes128("no such page"), "");
+}
+
+TEST(DocumentCacheTest, TinyLfuKeepsHotEntryAgainstColdScan) {
+  // One shard so the hot page and the scan contend for the same budget.
+  auto probe = runtime::CachedDocument::Parse(BoardPage(1, 3, 3), "");
+  ASSERT_TRUE(probe.ok());
+  const int64_t one_doc = (*probe)->ApproxBytes();
+  runtime::DocumentCache cache(runtime::DocumentCacheOptions{
+      .byte_budget = 2 * one_doc + one_doc / 2,
+      .num_shards = 1,
+      .tinylfu_admission = true,
+  });
+
+  // Make page 1 hot: several accesses build up sketch frequency.
+  std::string hot = BoardPage(1, 3, 3);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(cache.GetOrParse(hot, "").ok());
+  const int64_t hits_before_scan = cache.stats().hits;
+
+  // A one-hit scan of distinct cold pages. Plain LRU would evict the hot
+  // page; TinyLFU must reject the one-hit candidates instead.
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    ASSERT_TRUE(cache.GetOrParse(BoardPage(seed, 3, 3), "").ok());
+  }
+  EXPECT_GT(cache.stats().admission_rejects, 0);
+
+  // The hot page survived the scan: next access is a hit, not a re-parse.
+  ASSERT_TRUE(cache.GetOrParse(hot, "").ok());
+  EXPECT_EQ(cache.stats().hits, hits_before_scan + 1);
+}
+
+TEST(DocumentCacheTest, ShardsPartitionTheKeySpace) {
+  runtime::DocumentCache cache(64 << 20);  // default options: 8 shards
+  EXPECT_EQ(cache.num_shards(), 8);
+  EXPECT_EQ(cache.stats().shards, 8);
+  // Structurally distinct pages (item count varies), so every seed is a
+  // distinct cache key.
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ASSERT_TRUE(
+        cache.GetOrParse(CatalogPage(seed, static_cast<int32_t>(seed)), "")
+            .ok());
+  }
+  // Ample budget: sharding must not change visible cache behavior — every
+  // distinct page is resident wherever it hashed to.
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 16);
+  EXPECT_EQ(stats.misses, 16);
+  EXPECT_EQ(stats.evictions, 0);
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    ASSERT_TRUE(
+        cache.GetOrParse(CatalogPage(seed, static_cast<int32_t>(seed)), "")
+            .ok());
+  }
+  EXPECT_EQ(cache.stats().hits, 16);
 }
 
 // ---------------------------------------------------------------------------
@@ -481,6 +561,56 @@ TEST(WrapperRuntimeConcurrencyTest, MemoUnderContentionStaysCorrect) {
     auto got = f.get();
     ASSERT_TRUE(got.ok());
     EXPECT_EQ(*got, expected);
+  }
+}
+
+TEST(WrapperRuntimeConcurrencyTest, CancelledRequestsNeverCorruptShardState) {
+  // 8 workers, shared cancel token fired mid-batch: every request must
+  // resolve to either a full correct result or a clean kCancelled — and the
+  // caches must afterwards serve byte-identical results, i.e. cancellation
+  // unwound without corrupting any shard.
+  runtime::RuntimeOptions opts;
+  opts.num_threads = 8;
+  runtime::WrapperRuntime rt(opts);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  std::vector<std::string> pages;
+  std::vector<std::string> expected;
+  for (uint64_t seed = 50; seed < 82; ++seed) {
+    pages.push_back(CatalogPage(seed, 6 + static_cast<int32_t>(seed % 5)));
+    expected.push_back(SequentialXml(CatalogWrapper(), pages.back(), "class"));
+  }
+
+  runtime::RequestOptions request;
+  request.cancel = std::make_shared<util::CancelToken>();
+  std::vector<std::future<util::Result<std::string>>> futures;
+  for (const std::string& page : pages) {
+    futures.push_back(rt.Submit(*handle, page, request));
+  }
+  // Let some requests land, then cancel the rest of the batch.
+  futures.front().wait();
+  request.cancel->Cancel();
+
+  int64_t cancelled = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get();
+    if (got.ok()) {
+      EXPECT_EQ(*got, expected[i]);
+    } else {
+      EXPECT_EQ(got.status().code(), util::StatusCode::kCancelled)
+          << got.status().ToString();
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(rt.stats().cancelled, cancelled);
+
+  // Shard-state integrity: the same corpus, no cancel, through the warm (and
+  // partially populated) caches — every page byte-identical to sequential.
+  auto results = rt.RunBatch(*handle, pages);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_EQ(*results[i], expected[i]);
   }
 }
 
