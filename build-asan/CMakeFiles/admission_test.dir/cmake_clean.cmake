@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_test.dir/tests/admission_test.cc.o"
+  "CMakeFiles/admission_test.dir/tests/admission_test.cc.o.d"
+  "admission_test"
+  "admission_test.pdb"
+  "admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caterpillar_test.dir/tests/caterpillar_test.cc.o"
+  "CMakeFiles/caterpillar_test.dir/tests/caterpillar_test.cc.o.d"
+  "caterpillar_test"
+  "caterpillar_test.pdb"
+  "caterpillar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caterpillar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

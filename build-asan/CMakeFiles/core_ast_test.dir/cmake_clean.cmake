@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ast_test.dir/tests/core_ast_test.cc.o"
+  "CMakeFiles/core_ast_test.dir/tests/core_ast_test.cc.o.d"
+  "core_ast_test"
+  "core_ast_test.pdb"
+  "core_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

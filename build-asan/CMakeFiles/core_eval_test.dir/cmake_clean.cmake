@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_eval_test.dir/tests/core_eval_test.cc.o"
+  "CMakeFiles/core_eval_test.dir/tests/core_eval_test.cc.o.d"
+  "core_eval_test"
+  "core_eval_test.pdb"
+  "core_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

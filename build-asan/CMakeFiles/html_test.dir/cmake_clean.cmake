@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_test.dir/tests/html_test.cc.o"
+  "CMakeFiles/html_test.dir/tests/html_test.cc.o.d"
+  "html_test"
+  "html_test.pdb"
+  "html_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

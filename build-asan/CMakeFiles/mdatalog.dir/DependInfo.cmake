@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caterpillar/containment.cc" "CMakeFiles/mdatalog.dir/src/caterpillar/containment.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/caterpillar/containment.cc.o.d"
+  "/root/repo/src/caterpillar/eval.cc" "CMakeFiles/mdatalog.dir/src/caterpillar/eval.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/caterpillar/eval.cc.o.d"
+  "/root/repo/src/caterpillar/expr.cc" "CMakeFiles/mdatalog.dir/src/caterpillar/expr.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/caterpillar/expr.cc.o.d"
+  "/root/repo/src/caterpillar/nfa.cc" "CMakeFiles/mdatalog.dir/src/caterpillar/nfa.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/caterpillar/nfa.cc.o.d"
+  "/root/repo/src/caterpillar/to_datalog.cc" "CMakeFiles/mdatalog.dir/src/caterpillar/to_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/caterpillar/to_datalog.cc.o.d"
+  "/root/repo/src/core/ast.cc" "CMakeFiles/mdatalog.dir/src/core/ast.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/ast.cc.o.d"
+  "/root/repo/src/core/compiled.cc" "CMakeFiles/mdatalog.dir/src/core/compiled.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/compiled.cc.o.d"
+  "/root/repo/src/core/database.cc" "CMakeFiles/mdatalog.dir/src/core/database.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/database.cc.o.d"
+  "/root/repo/src/core/eval.cc" "CMakeFiles/mdatalog.dir/src/core/eval.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/eval.cc.o.d"
+  "/root/repo/src/core/examples.cc" "CMakeFiles/mdatalog.dir/src/core/examples.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/examples.cc.o.d"
+  "/root/repo/src/core/grounder.cc" "CMakeFiles/mdatalog.dir/src/core/grounder.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/grounder.cc.o.d"
+  "/root/repo/src/core/horn.cc" "CMakeFiles/mdatalog.dir/src/core/horn.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/horn.cc.o.d"
+  "/root/repo/src/core/parser.cc" "CMakeFiles/mdatalog.dir/src/core/parser.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/parser.cc.o.d"
+  "/root/repo/src/core/program_generator.cc" "CMakeFiles/mdatalog.dir/src/core/program_generator.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/program_generator.cc.o.d"
+  "/root/repo/src/core/reference_eval.cc" "CMakeFiles/mdatalog.dir/src/core/reference_eval.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/reference_eval.cc.o.d"
+  "/root/repo/src/core/validate.cc" "CMakeFiles/mdatalog.dir/src/core/validate.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/core/validate.cc.o.d"
+  "/root/repo/src/elog/ast.cc" "CMakeFiles/mdatalog.dir/src/elog/ast.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/elog/ast.cc.o.d"
+  "/root/repo/src/elog/eval.cc" "CMakeFiles/mdatalog.dir/src/elog/eval.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/elog/eval.cc.o.d"
+  "/root/repo/src/elog/from_datalog.cc" "CMakeFiles/mdatalog.dir/src/elog/from_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/elog/from_datalog.cc.o.d"
+  "/root/repo/src/elog/to_datalog.cc" "CMakeFiles/mdatalog.dir/src/elog/to_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/elog/to_datalog.cc.o.d"
+  "/root/repo/src/elog/visual.cc" "CMakeFiles/mdatalog.dir/src/elog/visual.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/elog/visual.cc.o.d"
+  "/root/repo/src/html/parser.cc" "CMakeFiles/mdatalog.dir/src/html/parser.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/html/parser.cc.o.d"
+  "/root/repo/src/html/synthetic.cc" "CMakeFiles/mdatalog.dir/src/html/synthetic.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/html/synthetic.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "CMakeFiles/mdatalog.dir/src/html/tokenizer.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/html/tokenizer.cc.o.d"
+  "/root/repo/src/mso/automaton.cc" "CMakeFiles/mdatalog.dir/src/mso/automaton.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/mso/automaton.cc.o.d"
+  "/root/repo/src/mso/compile.cc" "CMakeFiles/mdatalog.dir/src/mso/compile.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/mso/compile.cc.o.d"
+  "/root/repo/src/mso/formula.cc" "CMakeFiles/mdatalog.dir/src/mso/formula.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/mso/formula.cc.o.d"
+  "/root/repo/src/mso/to_datalog.cc" "CMakeFiles/mdatalog.dir/src/mso/to_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/mso/to_datalog.cc.o.d"
+  "/root/repo/src/qa/ranked.cc" "CMakeFiles/mdatalog.dir/src/qa/ranked.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/qa/ranked.cc.o.d"
+  "/root/repo/src/qa/ranked_to_datalog.cc" "CMakeFiles/mdatalog.dir/src/qa/ranked_to_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/qa/ranked_to_datalog.cc.o.d"
+  "/root/repo/src/qa/unranked.cc" "CMakeFiles/mdatalog.dir/src/qa/unranked.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/qa/unranked.cc.o.d"
+  "/root/repo/src/qa/unranked_to_datalog.cc" "CMakeFiles/mdatalog.dir/src/qa/unranked_to_datalog.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/qa/unranked_to_datalog.cc.o.d"
+  "/root/repo/src/runtime/admission.cc" "CMakeFiles/mdatalog.dir/src/runtime/admission.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/runtime/admission.cc.o.d"
+  "/root/repo/src/runtime/document_cache.cc" "CMakeFiles/mdatalog.dir/src/runtime/document_cache.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/runtime/document_cache.cc.o.d"
+  "/root/repo/src/runtime/program_cache.cc" "CMakeFiles/mdatalog.dir/src/runtime/program_cache.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/runtime/program_cache.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "CMakeFiles/mdatalog.dir/src/runtime/runtime.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/runtime/runtime.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "CMakeFiles/mdatalog.dir/src/runtime/thread_pool.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/runtime/thread_pool.cc.o.d"
+  "/root/repo/src/tmnf/acyclic.cc" "CMakeFiles/mdatalog.dir/src/tmnf/acyclic.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tmnf/acyclic.cc.o.d"
+  "/root/repo/src/tmnf/normal_form.cc" "CMakeFiles/mdatalog.dir/src/tmnf/normal_form.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tmnf/normal_form.cc.o.d"
+  "/root/repo/src/tmnf/pipeline.cc" "CMakeFiles/mdatalog.dir/src/tmnf/pipeline.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tmnf/pipeline.cc.o.d"
+  "/root/repo/src/tree/binary.cc" "CMakeFiles/mdatalog.dir/src/tree/binary.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tree/binary.cc.o.d"
+  "/root/repo/src/tree/generator.cc" "CMakeFiles/mdatalog.dir/src/tree/generator.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tree/generator.cc.o.d"
+  "/root/repo/src/tree/ranked.cc" "CMakeFiles/mdatalog.dir/src/tree/ranked.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tree/ranked.cc.o.d"
+  "/root/repo/src/tree/serialize.cc" "CMakeFiles/mdatalog.dir/src/tree/serialize.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tree/serialize.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "CMakeFiles/mdatalog.dir/src/tree/tree.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/tree/tree.cc.o.d"
+  "/root/repo/src/util/result.cc" "CMakeFiles/mdatalog.dir/src/util/result.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/util/result.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/mdatalog.dir/src/util/status.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/util/status.cc.o.d"
+  "/root/repo/src/wrapper/wrapper.cc" "CMakeFiles/mdatalog.dir/src/wrapper/wrapper.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/wrapper/wrapper.cc.o.d"
+  "/root/repo/src/xpath/xpath.cc" "CMakeFiles/mdatalog.dir/src/xpath/xpath.cc.o" "gcc" "CMakeFiles/mdatalog.dir/src/xpath/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_test.dir/tests/mso_test.cc.o"
+  "CMakeFiles/mso_test.dir/tests/mso_test.cc.o.d"
+  "mso_test"
+  "mso_test.pdb"
+  "mso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mso_test.
+# This may be replaced when dependencies are built.

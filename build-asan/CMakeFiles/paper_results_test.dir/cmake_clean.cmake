@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_results_test.dir/tests/paper_results_test.cc.o"
+  "CMakeFiles/paper_results_test.dir/tests/paper_results_test.cc.o.d"
+  "paper_results_test"
+  "paper_results_test.pdb"
+  "paper_results_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

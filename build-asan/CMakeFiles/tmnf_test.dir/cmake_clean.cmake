@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmnf_test.dir/tests/tmnf_test.cc.o"
+  "CMakeFiles/tmnf_test.dir/tests/tmnf_test.cc.o.d"
+  "tmnf_test"
+  "tmnf_test.pdb"
+  "tmnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/admission_test[1]_include.cmake")
+include("/root/repo/build-asan/caterpillar_test[1]_include.cmake")
+include("/root/repo/build-asan/core_ast_test[1]_include.cmake")
+include("/root/repo/build-asan/core_eval_test[1]_include.cmake")
+include("/root/repo/build-asan/deadline_test[1]_include.cmake")
+include("/root/repo/build-asan/elog_test[1]_include.cmake")
+include("/root/repo/build-asan/engine_equivalence_test[1]_include.cmake")
+include("/root/repo/build-asan/html_test[1]_include.cmake")
+include("/root/repo/build-asan/mso_test[1]_include.cmake")
+include("/root/repo/build-asan/paper_results_test[1]_include.cmake")
+include("/root/repo/build-asan/qa_test[1]_include.cmake")
+include("/root/repo/build-asan/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tmnf_test[1]_include.cmake")
+include("/root/repo/build-asan/tree_test[1]_include.cmake")
+include("/root/repo/build-asan/util_test[1]_include.cmake")
+include("/root/repo/build-asan/xpath_test[1]_include.cmake")
