@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the benchmark suites and writes BENCH_eval.json + BENCH_runtime.json
-# at the repo root (google-benchmark's --benchmark_format=json), so the perf
-# trajectory is tracked across PRs.
+# Runs the benchmark suites and writes BENCH_eval.json, BENCH_runtime.json,
+# BENCH_admission.json and BENCH_store.json at the repo root
+# (google-benchmark's --benchmark_format=json), so the perf trajectory is
+# tracked across PRs.
 #
 # Usage: bench/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to ./build (configured+built already, or this
@@ -20,7 +21,7 @@ if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
-  bench_admission -j"$(nproc)"
+  bench_admission bench_store -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -51,3 +52,15 @@ echo "wrote ${REPO_ROOT}/BENCH_runtime.json"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_admission.json"
+
+# Corpus-store snapshots + SIMD NodeSet kernels: cold parse vs mmap-warm
+# rehydration, first-touch serving with/without a store, and the
+# scalar-vs-dispatched set-plan kernel series.
+"${BUILD_DIR}/bench_store" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_store.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_store.json"

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "src/core/simd_kernels.h"
+#include "src/util/bits.h"
 #include "src/util/check.h"
 
 /// \file nodeset.h
@@ -13,8 +15,10 @@
 /// Monadic datalog's intensional predicates are node *sets* (arity ≤ 1), so
 /// the engine stores every unary IDB relation and semi-naive delta as a
 /// NodeSet: one bit per domain element, packed into 64-bit words. Membership
-/// and insertion are O(1); union/intersection/difference are word-parallel;
-/// iteration visits members in ascending order via count-trailing-zeros.
+/// and insertion are O(1); union/intersection/difference run through the
+/// runtime-dispatched kernels of simd_kernels.h (AVX2 with a scalar
+/// fallback); iteration visits members in ascending order via
+/// count-trailing-zeros.
 
 namespace mdatalog::core {
 
@@ -31,9 +35,26 @@ class NodeSet {
     words_.assign((static_cast<size_t>(domain_size) + 63) / 64, 0);
   }
 
+  /// Resizes to `domain_size` and loads the membership words from `words`
+  /// ((domain_size+63)/64 of them) — the bulk path for bit-arrays frozen
+  /// into a corpus-store blob. Trailing bits past domain_size must be zero.
+  void AssignWords(const uint64_t* words, int32_t domain_size) {
+    MD_DCHECK(domain_size >= 0);
+    domain_size_ = domain_size;
+    words_.resize((static_cast<size_t>(domain_size) + 63) / 64);
+    if (!words_.empty()) {
+      std::memcpy(words_.data(), words, words_.size() * sizeof(uint64_t));
+    }
+    count_ = simd::Count(words_.data(), words_.size());
+  }
+
   int32_t domain_size() const { return domain_size_; }
   bool empty() const { return count_ == 0; }
   int64_t count() const { return count_; }
+
+  /// Word-level read access (for freezing a set into a blob).
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
 
   /// Membership; out-of-domain values are simply not members.
   bool Contains(int32_t a) const {
@@ -62,31 +83,28 @@ class NodeSet {
   /// this ∪= other. Domains must match.
   void UnionWith(const NodeSet& other) {
     MD_DCHECK(domain_size_ == other.domain_size_);
-    count_ = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] |= other.words_[i];
-      count_ += std::popcount(words_[i]);
-    }
+    count_ = simd::OrAssignCount(words_.data(), other.words_.data(),
+                                 words_.size());
   }
 
   /// this ∩= other. Domains must match.
   void IntersectWith(const NodeSet& other) {
     MD_DCHECK(domain_size_ == other.domain_size_);
-    count_ = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= other.words_[i];
-      count_ += std::popcount(words_[i]);
-    }
+    count_ = simd::AndAssignCount(words_.data(), other.words_.data(),
+                                  words_.size());
   }
 
   /// this −= other. Domains must match.
   void DifferenceWith(const NodeSet& other) {
     MD_DCHECK(domain_size_ == other.domain_size_);
-    count_ = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= ~other.words_[i];
-      count_ += std::popcount(words_[i]);
-    }
+    count_ = simd::AndNotAssignCount(words_.data(), other.words_.data(),
+                                     words_.size());
+  }
+
+  /// Smallest member, or -1 when empty.
+  int32_t FindFirst() const {
+    if (count_ == 0) return -1;
+    return static_cast<int32_t>(simd::FindFirst(words_.data(), words_.size()));
   }
 
   /// Calls fn(member) for every member, in ascending order.
@@ -95,7 +113,7 @@ class NodeSet {
     for (size_t wi = 0; wi < words_.size(); ++wi) {
       uint64_t w = words_[wi];
       while (w != 0) {
-        const int32_t b = std::countr_zero(w);
+        const int32_t b = util::Ctz64(w);
         fn(static_cast<int32_t>(wi * 64) + b);
         w &= w - 1;
       }

@@ -8,37 +8,6 @@
 
 namespace mdatalog::runtime {
 
-uint64_t HashBytes(std::string_view bytes) {
-  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 1099511628211ULL;  // FNV prime
-  }
-  return h;
-}
-
-Hash128 HashBytes128(std::string_view bytes) {
-  // Two structurally different accumulators over one scan: `lo` is standard
-  // FNV-1a; `hi` is a multiply-xorshift (splitmix-style) stream, so a
-  // differential that collides the FNV polynomial does not transfer to the
-  // second state. Not cryptographic — a determined attacker with offline
-  // search could still target the pair — but the serving caches fail
-  // *wrong-answer-silently* on collision, so the bar sits deliberately far
-  // above a single 64-bit FNV. Swap in a keyed hash (SipHash) here if the
-  // deployment threat model includes adversarial collision search.
-  Hash128 h;
-  h.lo = 1469598103934665603ULL;
-  h.hi = 0x9e3779b97f4a7c15ULL;
-  for (unsigned char c : bytes) {
-    h.lo = (h.lo ^ c) * 1099511628211ULL;
-    uint64_t x = h.hi + 0x9e3779b97f4a7c15ULL + c;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    h.hi = x ^ (x >> 27);
-  }
-  h.hi ^= static_cast<uint64_t>(bytes.size());  // length guard
-  return h;
-}
-
 util::Result<std::shared_ptr<const CachedDocument>> CachedDocument::Parse(
     std::string_view html, const std::string& project_attr) {
   MD_ASSIGN_OR_RETURN(html::Document doc, html::ParseHtml(html));
@@ -47,15 +16,31 @@ util::Result<std::shared_ptr<const CachedDocument>> CachedDocument::Parse(
   std::shared_ptr<CachedDocument> cached(
       new CachedDocument(std::move(doc)));
   if (!project_attr.empty()) {
-    cached->projected_ =
-        html::ProjectAttributeIntoLabels(cached->doc_, project_attr);
+    cached->tree_ =
+        html::ProjectAttributeIntoLabels(*cached->doc_, project_attr);
   }
   cached->edb_.emplace(cached->tree());
   cached->static_bytes_ = static_cast<int64_t>(sizeof(CachedDocument)) +
-                          cached->doc_.tree().ApproxBytes();
-  if (cached->projected_.has_value()) {
-    cached->static_bytes_ += cached->projected_->ApproxBytes();
+                          cached->doc_->tree().ApproxBytes();
+  if (cached->tree_.has_value()) {
+    cached->static_bytes_ += cached->tree_->ApproxBytes();
   }
+  return std::shared_ptr<const CachedDocument>(std::move(cached));
+}
+
+std::shared_ptr<const CachedDocument> CachedDocument::FromFrozen(
+    const store::FrozenDocument& frozen,
+    std::shared_ptr<const store::CorpusStore> store) {
+  std::shared_ptr<CachedDocument> cached(new CachedDocument());
+  cached->store_ = std::move(store);
+  cached->frozen_edb_ = frozen.edb;
+  cached->tree_ = frozen.MakeTree();  // zero-copy columns into the mapping
+  // frozen_edb_ sits at its final address now; the database borrows it.
+  cached->edb_.emplace(*cached->tree_, &cached->frozen_edb_);
+  // Only owned heap is charged — the mapped pages are shared with every
+  // other consumer of the store and reclaimable by the kernel.
+  cached->static_bytes_ = static_cast<int64_t>(sizeof(CachedDocument)) +
+                          cached->tree_->ApproxBytes();
   return std::shared_ptr<const CachedDocument>(std::move(cached));
 }
 
@@ -75,7 +60,8 @@ DocumentCache::DocumentCache(const DocumentCacheOptions& options)
               ? 0
               : std::max<int64_t>(options.byte_budget /
                                       util::RoundUpPow2(options.num_shards),
-                                  1)) {
+                                  1)),
+      corpus_store_(options.corpus_store) {
   const int32_t n = util::RoundUpPow2(options.num_shards);
   shard_mask_ = static_cast<uint64_t>(n - 1);
   shards_.reserve(n);
@@ -123,12 +109,13 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     ++shard.misses;
   }
 
-  // Parse outside the lock: parsing is the expensive part, and concurrent
-  // misses on *different* documents must not serialize. Concurrent misses on
-  // the same document may parse twice; the second admission wins the map
-  // slot and the first copy dies with its callers — wasteful but correct.
+  // Prepare outside the lock: parsing (or store rehydration) is the
+  // expensive part, and concurrent misses on *different* documents must not
+  // serialize. Concurrent misses on the same document may prepare twice; the
+  // second admission wins the map slot and the first copy dies with its
+  // callers — wasteful but correct.
   MD_ASSIGN_OR_RETURN(std::shared_ptr<const CachedDocument> doc,
-                      CachedDocument::Parse(html, project_attr));
+                      PrepareDocument(html, project_attr, content_hash));
   if (byte_budget_ <= 0) return doc;
 
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -161,6 +148,24 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     EvictBack(shard);
   }
   return doc;
+}
+
+util::Result<std::shared_ptr<const CachedDocument>>
+DocumentCache::PrepareDocument(std::string_view html,
+                               const std::string& project_attr,
+                               const Hash128& content_hash) {
+  if (corpus_store_ != nullptr) {
+    util::Result<store::FrozenDocument> frozen =
+        corpus_store_->Find(content_hash, project_attr);
+    if (frozen.ok()) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      return CachedDocument::FromFrozen(*frozen, corpus_store_);
+    }
+    // NotFound: the corpus simply doesn't have this page. DataLoss: it does
+    // but the blob failed validation — the parse below is the safe fallback
+    // either way (we still hold the original bytes).
+  }
+  return CachedDocument::Parse(html, project_attr);
 }
 
 void DocumentCache::Recharge(const Hash128& content_hash,
@@ -198,6 +203,7 @@ DocumentCacheStats DocumentCache::stats() const {
   DocumentCacheStats out;
   out.byte_budget = byte_budget_;
   out.shards = static_cast<int32_t>(shards_.size());
+  out.store_hits = store_hits_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     out.hits += shard->hits;

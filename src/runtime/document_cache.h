@@ -10,10 +10,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "src/core/database.h"
 #include "src/html/parser.h"
 #include "src/runtime/admission.h"
+#include "src/store/corpus_store.h"
 #include "src/tree/tree.h"
+#include "src/util/hash.h"
 #include "src/util/result.h"
 
 /// \file document_cache.h
@@ -35,23 +39,12 @@
 
 namespace mdatalog::runtime {
 
-/// FNV-1a 64-bit. Stable across runs; used for keys over *trusted* inputs
-/// (program text fingerprints).
-uint64_t HashBytes(std::string_view bytes);
-
-/// 128-bit content hash: an FNV-1a stream plus a structurally different
-/// multiply-xorshift stream, one scan. Document/memo keys use this because
-/// the HTML is untrusted — a key collision would silently serve one page's
-/// extraction results for another, and 64 bits of a non-cryptographic hash
-/// is constructible. Not cryptographic either (see the note at the
-/// definition); swap in a keyed hash if adversarial collision search is in
-/// the threat model.
-struct Hash128 {
-  uint64_t lo = 0;
-  uint64_t hi = 0;
-  bool operator==(const Hash128&) const = default;
-};
-Hash128 HashBytes128(std::string_view bytes);
+/// The content-hash primitives moved to util/hash.h so the corpus store can
+/// key packed documents identically without depending on the runtime; these
+/// aliases keep existing runtime:: spellings working.
+using util::Hash128;
+using util::HashBytes;
+using util::HashBytes128;
 
 /// One fully prepared, immutable document. Shared (shared_ptr const) between
 /// every query that hits the same content: the tree and parse are read-only,
@@ -65,11 +58,23 @@ class CachedDocument {
   static util::Result<std::shared_ptr<const CachedDocument>> Parse(
       std::string_view html, const std::string& project_attr);
 
-  const html::Document& doc() const { return doc_; }
-  /// The tree wrappers evaluate over: the projected tree when an attribute
-  /// projection was requested, the raw parse tree otherwise.
+  /// Rehydrates a document out of an open corpus store — no parsing: the
+  /// tree columns and texts are read in place from the store's mapping (the
+  /// store stays alive via the held shared_ptr) and the unary EDB relations
+  /// load from the packed bit-arrays. Any projection was applied at pack
+  /// time. Store-backed documents carry no html::Document (has_html() is
+  /// false); wrappers only touch tree() and edb().
+  static std::shared_ptr<const CachedDocument> FromFrozen(
+      const store::FrozenDocument& frozen,
+      std::shared_ptr<const store::CorpusStore> store);
+
+  /// False for store-backed documents, which skip the HTML parse entirely.
+  bool has_html() const { return doc_.has_value(); }
+  const html::Document& doc() const { return *doc_; }
+  /// The tree wrappers evaluate over: the projected or frozen tree when one
+  /// exists, the raw parse tree otherwise.
   const tree::Tree& tree() const {
-    return projected_.has_value() ? *projected_ : doc_.tree();
+    return tree_.has_value() ? *tree_ : doc_->tree();
   }
   /// The shared relational view of tree(). Thread-safe lazy materialization.
   const core::TreeDatabase& edb() const { return *edb_; }
@@ -78,17 +83,24 @@ class CachedDocument {
   /// EDB relations; the cache refreshes its charge on every hit and on
   /// Recharge. O(1): the immutable tree part is measured once at parse time
   /// and the EDB keeps an incremental counter — no heap walk on the serving
-  /// hot path.
+  /// hot path. Store-backed documents charge only their owned heap — the
+  /// mapped pages are shared and kernel-evictable, so the cache deliberately
+  /// leaves them off its budget.
   int64_t ApproxBytes() const { return static_bytes_ + edb_->ApproxBytes(); }
 
  private:
+  CachedDocument() = default;
   explicit CachedDocument(html::Document doc) : doc_(std::move(doc)) {}
 
-  html::Document doc_;
-  std::optional<tree::Tree> projected_;
-  // Emplaced after doc_/projected_ reach their final heap location (it holds
+  std::optional<html::Document> doc_;  // absent for store-backed documents
+  // The evaluation tree when it is not doc_'s raw parse tree: the
+  // attribute-projected tree, or the zero-copy frozen tree.
+  std::optional<tree::Tree> tree_;
+  // Emplaced after doc_/tree_ reach their final heap location (it holds
   // a reference to tree()).
   std::optional<core::TreeDatabase> edb_;
+  core::FrozenUnaryEdb frozen_edb_;  // referenced by edb_ when store-backed
+  std::shared_ptr<const store::CorpusStore> store_;  // keepalive, may be null
   int64_t static_bytes_ = 0;  // trees + parse, fixed after construction
 };
 
@@ -105,6 +117,11 @@ struct DocumentCacheOptions {
   /// Counters per shard sketch; 0 = auto (derived from the shard budget,
   /// assuming ~64KB documents, clamped to [1024, 1M]).
   int32_t sketch_counters = 0;
+  /// Second-level cache: an open corpus store consulted on every in-memory
+  /// miss before falling back to parsing. A store hit costs an mmap-backed
+  /// blob validation instead of an HTML parse; a corrupt blob (DataLoss)
+  /// silently falls through to the parse path. May be null.
+  std::shared_ptr<const store::CorpusStore> corpus_store = nullptr;
 };
 
 struct DocumentCacheStats {
@@ -113,6 +130,8 @@ struct DocumentCacheStats {
   int64_t evictions = 0;
   /// Misses parsed but denied a cache slot by TinyLFU (served uncached).
   int64_t admission_rejects = 0;
+  /// In-memory misses served from the corpus store instead of a parse.
+  int64_t store_hits = 0;
   int64_t bytes_in_use = 0;
   int64_t byte_budget = 0;
   int32_t entries = 0;
@@ -214,10 +233,18 @@ class DocumentCache {
   /// Requires shard.mu held. Drops the LRU tail entry.
   void EvictBack(Shard& shard);
 
+  /// Prepares a document for `html` without parsing if the corpus store has
+  /// it; falls back to CachedDocument::Parse. Called outside shard locks.
+  util::Result<std::shared_ptr<const CachedDocument>> PrepareDocument(
+      std::string_view html, const std::string& project_attr,
+      const Hash128& content_hash);
+
   const int64_t byte_budget_;        // total, across shards
   const int64_t shard_byte_budget_;  // per shard
   uint64_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<const store::CorpusStore> corpus_store_;  // may be null
+  mutable std::atomic<int64_t> store_hits_{0};
 };
 
 }  // namespace mdatalog::runtime

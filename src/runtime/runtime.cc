@@ -18,6 +18,7 @@ WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
           .byte_budget = options.document_cache_bytes,
           .num_shards = options.document_cache_shards,
           .tinylfu_admission = options.cache_admission,
+          .corpus_store = options.corpus_store,
       }),
       memo_shard_bytes_(
           options.result_memo_bytes <= 0

@@ -57,6 +57,11 @@ struct RuntimeOptions {
   /// LRU (admit everything) — the pre-hardening behavior, kept for A/B
   /// benchmarking and for workloads known to have no scan traffic.
   bool cache_admission = true;
+  /// Optional open corpus store (store::CorpusStore::Open), served as the
+  /// document cache's second level: in-memory miss → mmap'd snapshot →
+  /// only then an HTML parse. Documents must have been packed with the same
+  /// projection attribute the wrapper registers with. May be null.
+  std::shared_ptr<const store::CorpusStore> corpus_store = nullptr;
 
   enum class EngineMode {
     /// Grounded-datalog plan replay when the Corollary 6.4 pipeline

@@ -4,7 +4,7 @@
 
 namespace mdatalog::tree {
 
-std::string XmlEscape(const std::string& s) {
+std::string XmlEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "src/tree/tree.h"
 
@@ -15,6 +16,6 @@ namespace mdatalog::tree {
 std::string ToXml(const Tree& t, int32_t indent = 2);
 
 /// Escapes &, <, >, " for XML output.
-std::string XmlEscape(const std::string& s);
+std::string XmlEscape(std::string_view s);
 
 }  // namespace mdatalog::tree

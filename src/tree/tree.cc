@@ -1,14 +1,91 @@
 #include "src/tree/tree.h"
 
 #include <functional>
+#include <utility>
 
 namespace mdatalog::tree {
 
-const std::string Tree::kEmptyText;
+Tree& Tree::operator=(const Tree& other) {
+  if (this == &other) return *this;
+  size_ = other.size_;
+  frozen_ = other.frozen_;
+  parent_ = other.parent_;
+  first_child_ = other.first_child_;
+  last_child_ = other.last_child_;
+  prev_sibling_ = other.prev_sibling_;
+  next_sibling_ = other.next_sibling_;
+  label_ = other.label_;
+  text_offsets_ = other.text_offsets_;
+  text_base_ = other.text_base_;
+  own_parent_ = other.own_parent_;
+  own_first_child_ = other.own_first_child_;
+  own_last_child_ = other.own_last_child_;
+  own_prev_sibling_ = other.own_prev_sibling_;
+  own_next_sibling_ = other.own_next_sibling_;
+  own_label_ = other.own_label_;
+  texts_ = other.texts_;
+  labels_ = other.labels_;
+  Rebind();
+  return *this;
+}
+
+Tree& Tree::operator=(Tree&& other) noexcept {
+  if (this == &other) return *this;
+  size_ = other.size_;
+  frozen_ = other.frozen_;
+  parent_ = other.parent_;
+  first_child_ = other.first_child_;
+  last_child_ = other.last_child_;
+  prev_sibling_ = other.prev_sibling_;
+  next_sibling_ = other.next_sibling_;
+  label_ = other.label_;
+  text_offsets_ = other.text_offsets_;
+  text_base_ = other.text_base_;
+  own_parent_ = std::move(other.own_parent_);
+  own_first_child_ = std::move(other.own_first_child_);
+  own_last_child_ = std::move(other.own_last_child_);
+  own_prev_sibling_ = std::move(other.own_prev_sibling_);
+  own_next_sibling_ = std::move(other.own_next_sibling_);
+  own_label_ = std::move(other.own_label_);
+  texts_ = std::move(other.texts_);
+  labels_ = std::move(other.labels_);
+  other.size_ = 0;
+  other.Rebind();
+  Rebind();
+  return *this;
+}
+
+void Tree::Rebind() {
+  if (frozen_) return;  // views reference external memory; nothing to fix
+  parent_ = own_parent_.data();
+  first_child_ = own_first_child_.data();
+  last_child_ = own_last_child_.data();
+  prev_sibling_ = own_prev_sibling_.data();
+  next_sibling_ = own_next_sibling_.data();
+  label_ = own_label_.data();
+  size_ = static_cast<int32_t>(own_label_.size());
+}
+
+Tree Tree::FromFrozenView(const FrozenView& view, util::Interner labels) {
+  MD_CHECK(view.num_nodes > 0);
+  Tree t;
+  t.frozen_ = true;
+  t.size_ = view.num_nodes;
+  t.parent_ = view.parent;
+  t.first_child_ = view.first_child;
+  t.last_child_ = view.last_child;
+  t.prev_sibling_ = view.prev_sibling;
+  t.next_sibling_ = view.next_sibling;
+  t.label_ = view.label;
+  t.text_offsets_ = view.text_offsets;
+  t.text_base_ = view.text_base;
+  t.labels_ = std::move(labels);
+  return t;
+}
 
 std::vector<NodeId> Tree::Children(NodeId n) const {
   std::vector<NodeId> out;
-  for (NodeId c = at(n).first_child; c != kNoNode; c = at(c).next_sibling) {
+  for (NodeId c = first_child(n); c != kNoNode; c = next_sibling(c)) {
     out.push_back(c);
   }
   return out;
@@ -16,7 +93,7 @@ std::vector<NodeId> Tree::Children(NodeId n) const {
 
 int32_t Tree::NumChildren(NodeId n) const {
   int32_t count = 0;
-  for (NodeId c = at(n).first_child; c != kNoNode; c = at(c).next_sibling) {
+  for (NodeId c = first_child(n); c != kNoNode; c = next_sibling(c)) {
     ++count;
   }
   return count;
@@ -24,19 +101,19 @@ int32_t Tree::NumChildren(NodeId n) const {
 
 NodeId Tree::ChildK(NodeId n, int32_t k) const {
   MD_DCHECK(k >= 1);
-  NodeId c = at(n).first_child;
-  for (int32_t i = 1; i < k && c != kNoNode; ++i) c = at(c).next_sibling;
+  NodeId c = first_child(n);
+  for (int32_t i = 1; i < k && c != kNoNode; ++i) c = next_sibling(c);
   return c;
 }
 
 int32_t Tree::Depth(NodeId n) const {
   int32_t d = 0;
-  for (NodeId p = at(n).parent; p != kNoNode; p = at(p).parent) ++d;
+  for (NodeId p = parent(n); p != kNoNode; p = parent(p)) ++d;
   return d;
 }
 
 bool Tree::IsAncestor(NodeId anc, NodeId n) const {
-  for (NodeId p = at(n).parent; p != kNoNode; p = at(p).parent) {
+  for (NodeId p = parent(n); p != kNoNode; p = parent(p)) {
     if (p == anc) return true;
   }
   return false;
@@ -44,7 +121,7 @@ bool Tree::IsAncestor(NodeId anc, NodeId n) const {
 
 std::vector<NodeId> Tree::Preorder() const {
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(size_);
   std::vector<NodeId> stack = {root()};
   while (!stack.empty()) {
     NodeId n = stack.back();
@@ -58,7 +135,7 @@ std::vector<NodeId> Tree::Preorder() const {
 }
 
 std::vector<int32_t> Tree::PreorderRanks() const {
-  std::vector<int32_t> rank(nodes_.size(), 0);
+  std::vector<int32_t> rank(size_, 0);
   std::vector<NodeId> order = Preorder();
   for (size_t i = 0; i < order.size(); ++i) {
     rank[order[i]] = static_cast<int32_t>(i);
@@ -82,11 +159,6 @@ int32_t Tree::Height() const {
   return best;
 }
 
-const std::string& Tree::text(NodeId n) const {
-  if (static_cast<size_t>(n) < texts_.size()) return texts_[n];
-  return kEmptyText;
-}
-
 std::string Tree::SubtreeText(NodeId n) const {
   std::string out;
   std::function<void(NodeId)> walk = [&](NodeId m) {
@@ -98,45 +170,54 @@ std::string Tree::SubtreeText(NodeId n) const {
 }
 
 int64_t Tree::ApproxBytes() const {
-  int64_t bytes = static_cast<int64_t>(nodes_.capacity()) * sizeof(Node);
+  int64_t bytes = labels_.ApproxBytes();
+  if (frozen_) return bytes + static_cast<int64_t>(sizeof(Tree));
+  for (const auto* col :
+       {&own_parent_, &own_first_child_, &own_last_child_, &own_prev_sibling_,
+        &own_next_sibling_, &own_label_}) {
+    bytes += static_cast<int64_t>(col->capacity()) * sizeof(int32_t);
+  }
   bytes += static_cast<int64_t>(texts_.capacity()) * sizeof(std::string);
   for (const std::string& t : texts_) {
     bytes += static_cast<int64_t>(t.capacity());
   }
-  bytes += labels_.ApproxBytes();
   return bytes;
 }
 
 NodeId TreeBuilder::Root(std::string_view label) {
-  MD_CHECK(tree_.nodes_.empty());
-  Node node;
-  node.label = tree_.labels_.Intern(label);
-  tree_.nodes_.push_back(node);
+  MD_CHECK(tree_.own_label_.empty());
+  tree_.own_parent_.push_back(kNoNode);
+  tree_.own_first_child_.push_back(kNoNode);
+  tree_.own_last_child_.push_back(kNoNode);
+  tree_.own_prev_sibling_.push_back(kNoNode);
+  tree_.own_next_sibling_.push_back(kNoNode);
+  tree_.own_label_.push_back(tree_.labels_.Intern(label));
   return 0;
 }
 
 NodeId TreeBuilder::Child(NodeId parent, std::string_view label) {
-  MD_CHECK(!tree_.nodes_.empty());
+  MD_CHECK(!tree_.own_label_.empty());
   MD_CHECK(parent >= 0 &&
-           static_cast<size_t>(parent) < tree_.nodes_.size());
-  Node node;
-  node.label = tree_.labels_.Intern(label);
-  node.parent = parent;
-  NodeId id = static_cast<NodeId>(tree_.nodes_.size());
-  Node& par = tree_.nodes_[parent];
-  if (par.last_child == kNoNode) {
-    par.first_child = id;
+           static_cast<size_t>(parent) < tree_.own_label_.size());
+  const NodeId id = static_cast<NodeId>(tree_.own_label_.size());
+  const NodeId prev = tree_.own_last_child_[parent];
+  tree_.own_parent_.push_back(parent);
+  tree_.own_first_child_.push_back(kNoNode);
+  tree_.own_last_child_.push_back(kNoNode);
+  tree_.own_prev_sibling_.push_back(prev);
+  tree_.own_next_sibling_.push_back(kNoNode);
+  tree_.own_label_.push_back(tree_.labels_.Intern(label));
+  if (prev == kNoNode) {
+    tree_.own_first_child_[parent] = id;
   } else {
-    tree_.nodes_[par.last_child].next_sibling = id;
-    node.prev_sibling = par.last_child;
+    tree_.own_next_sibling_[prev] = id;
   }
-  par.last_child = id;
-  tree_.nodes_.push_back(node);
+  tree_.own_last_child_[parent] = id;
   return id;
 }
 
 void TreeBuilder::SetText(NodeId n, std::string_view text) {
-  MD_CHECK(n >= 0 && static_cast<size_t>(n) < tree_.nodes_.size());
+  MD_CHECK(n >= 0 && static_cast<size_t>(n) < tree_.own_label_.size());
   if (tree_.texts_.size() <= static_cast<size_t>(n)) {
     tree_.texts_.resize(n + 1);
   }
@@ -144,7 +225,8 @@ void TreeBuilder::SetText(NodeId n, std::string_view text) {
 }
 
 Tree TreeBuilder::Build() {
-  MD_CHECK(!tree_.nodes_.empty());
+  MD_CHECK(!tree_.own_label_.empty());
+  tree_.Rebind();
   return std::move(tree_);
 }
 

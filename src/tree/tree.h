@@ -11,9 +11,14 @@
 /// \file tree.h
 /// Finite ordered labeled trees — the data model of the paper (Section 2).
 ///
-/// A Tree is an arena of nodes. Every node has a label from a finite alphabet
-/// Σ (interned per tree), an ordered list of children, and an optional text
-/// payload (used by the HTML front end for character data, cf. Remark 2.2).
+/// A Tree is a structure-of-arrays node arena: six parallel int32 columns
+/// (parent, first_child, last_child, prev_sibling, next_sibling, label — the
+/// untangle `baseTree_t` idiom of preallocated uint32 arrays), an optional
+/// text payload per node, and an interned label alphabet Σ. Every column is
+/// offsets-not-pointers, so a finished tree freezes into one relocatable
+/// blob: the accessors read through column pointers that reference either
+/// the tree's own vectors (built trees) or an external read-only region
+/// (frozen trees mmap'd back by src/store/ — zero copies, zero parsing).
 ///
 /// The accessors expose exactly the relations of the unranked tree schema
 ///   τ_ur = ⟨dom, root, leaf, (label_a), firstchild, nextsibling, lastsibling⟩
@@ -31,22 +36,57 @@ using LabelId = util::SymbolId;
 
 inline constexpr NodeId kNoNode = -1;
 
-/// One node record. Plain data; all navigation is by NodeId.
-struct Node {
-  LabelId label = util::kInvalidSymbol;
-  NodeId parent = kNoNode;
-  NodeId first_child = kNoNode;
-  NodeId last_child = kNoNode;
-  NodeId prev_sibling = kNoNode;
-  NodeId next_sibling = kNoNode;
-};
-
 /// An immutable ordered labeled tree with at least one node (the paper's
-/// trees are nonempty). Build with TreeBuilder.
+/// trees are nonempty). Build with TreeBuilder, or rehydrate a frozen one
+/// with FromFrozenView.
 class Tree {
  public:
+  Tree() = default;
+  Tree(const Tree& other) { *this = other; }
+  Tree(Tree&& other) noexcept { *this = std::move(other); }
+  Tree& operator=(const Tree& other);
+  Tree& operator=(Tree&& other) noexcept;
+
+  /// Borrowed column views over a frozen tree blob. All arrays have
+  /// `num_nodes` entries except text_offsets (num_nodes + 1, prefix offsets
+  /// into text_base; both may be null when no node carries text). The
+  /// referenced memory must outlive every Tree built from the view — the
+  /// corpus store keeps its mapping alive for exactly this reason.
+  struct FrozenView {
+    int32_t num_nodes = 0;
+    const int32_t* parent = nullptr;
+    const int32_t* first_child = nullptr;
+    const int32_t* last_child = nullptr;
+    const int32_t* prev_sibling = nullptr;
+    const int32_t* next_sibling = nullptr;
+    const int32_t* label = nullptr;
+    const uint32_t* text_offsets = nullptr;
+    const char* text_base = nullptr;
+  };
+  /// A zero-copy tree over `view`: node columns and texts are read in place;
+  /// only the (small) label alphabet is owned. See src/store/.
+  static Tree FromFrozenView(const FrozenView& view, util::Interner labels);
+
+  /// The tree's own columns, for freezing. Valid while the tree is alive.
+  /// Texts are not part of the view (built trees hold them per node) — a
+  /// packer serializes them through text().
+  struct Columns {
+    const int32_t* parent;
+    const int32_t* first_child;
+    const int32_t* last_child;
+    const int32_t* prev_sibling;
+    const int32_t* next_sibling;
+    const int32_t* label;
+  };
+  Columns columns() const {
+    return {parent_, first_child_, last_child_, prev_sibling_, next_sibling_,
+            label_};
+  }
+  /// True iff the node columns live in an external (mmap'd) region.
+  bool frozen() const { return frozen_; }
+
   /// Number of nodes, |dom|.
-  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  int32_t size() const { return size_; }
 
   /// The unique root node.
   NodeId root() const { return 0; }
@@ -54,30 +94,48 @@ class Tree {
   // --- τ_ur relations ------------------------------------------------------
 
   bool IsRoot(NodeId n) const { return n == 0; }
-  bool IsLeaf(NodeId n) const { return at(n).first_child == kNoNode; }
+  bool IsLeaf(NodeId n) const { return first_child(n) == kNoNode; }
   /// lastsibling: n is the rightmost child of its parent. The root is *not*
   /// a last sibling (it has no parent) — paper, Section 2.
   bool IsLastSibling(NodeId n) const {
-    return n != 0 && at(n).next_sibling == kNoNode;
+    return n != 0 && next_sibling(n) == kNoNode;
   }
   /// firstsibling: symmetric to lastsibling (used by Elog⁻, Definition 6.2).
   bool IsFirstSibling(NodeId n) const {
-    return n != 0 && at(n).prev_sibling == kNoNode;
+    return n != 0 && prev_sibling(n) == kNoNode;
   }
 
-  LabelId label(NodeId n) const { return at(n).label; }
+  LabelId label(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return label_[n];
+  }
   const std::string& label_name(NodeId n) const {
-    return labels_.Name(at(n).label);
+    return labels_.Name(label(n));
   }
   bool HasLabel(NodeId n, std::string_view name) const {
-    return labels_.Find(name) == at(n).label;
+    return labels_.Find(name) == label(n);
   }
 
-  NodeId parent(NodeId n) const { return at(n).parent; }
-  NodeId first_child(NodeId n) const { return at(n).first_child; }
-  NodeId last_child(NodeId n) const { return at(n).last_child; }
-  NodeId next_sibling(NodeId n) const { return at(n).next_sibling; }
-  NodeId prev_sibling(NodeId n) const { return at(n).prev_sibling; }
+  NodeId parent(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return parent_[n];
+  }
+  NodeId first_child(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return first_child_[n];
+  }
+  NodeId last_child(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return last_child_[n];
+  }
+  NodeId next_sibling(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return next_sibling_[n];
+  }
+  NodeId prev_sibling(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    return prev_sibling_[n];
+  }
 
   // --- derived navigation --------------------------------------------------
 
@@ -102,11 +160,19 @@ class Tree {
 
   // --- payload / alphabet --------------------------------------------------
 
-  /// Text payload of n ("" unless set; used for HTML character data).
-  const std::string& text(NodeId n) const;
-  bool HasText(NodeId n) const {
-    return static_cast<size_t>(n) < texts_.size() && !texts_[n].empty();
+  /// Text payload of n ("" unless set; used for HTML character data). For
+  /// frozen trees this is a view into the mapped blob — no copy.
+  std::string_view text(NodeId n) const {
+    MD_DCHECK(InRange(n));
+    if (frozen_) {
+      if (text_offsets_ == nullptr) return {};
+      return std::string_view(text_base_ + text_offsets_[n],
+                              text_offsets_[n + 1] - text_offsets_[n]);
+    }
+    if (static_cast<size_t>(n) < texts_.size()) return texts_[n];
+    return {};
   }
+  bool HasText(NodeId n) const { return !text(n).empty(); }
 
   const util::Interner& labels() const { return labels_; }
   /// Label id for `name` in this tree's alphabet, or util::kInvalidSymbol.
@@ -114,21 +180,44 @@ class Tree {
   /// Concatenated text of n's subtree in document order.
   std::string SubtreeText(NodeId n) const;
   /// Approximate heap footprint in bytes (nodes, texts, label alphabet) —
-  /// used by the serving runtime's document-cache byte accounting.
+  /// used by the serving runtime's document-cache byte accounting. Frozen
+  /// trees report only their owned heap (the label alphabet): the node
+  /// columns and texts live in the store's shared, kernel-reclaimable
+  /// mapping, which the cache deliberately does not charge against its heap
+  /// budget.
   int64_t ApproxBytes() const;
 
  private:
   friend class TreeBuilder;
 
-  const Node& at(NodeId n) const {
-    MD_DCHECK(n >= 0 && static_cast<size_t>(n) < nodes_.size());
-    return nodes_[n];
+  bool InRange(NodeId n) const {
+    return n >= 0 && n < size_;
   }
+  /// Points the column views at the owned vectors (no-op for frozen trees,
+  /// whose views reference external memory). Must be called after any
+  /// member-wise copy/move — vector buffers move with their vector, but a
+  /// copy reallocates.
+  void Rebind();
 
-  std::vector<Node> nodes_;
-  std::vector<std::string> texts_;  // may be shorter than nodes_ (lazy)
+  int32_t size_ = 0;
+  bool frozen_ = false;
+
+  // Column views the accessors read; never null for a nonempty tree.
+  const int32_t* parent_ = nullptr;
+  const int32_t* first_child_ = nullptr;
+  const int32_t* last_child_ = nullptr;
+  const int32_t* prev_sibling_ = nullptr;
+  const int32_t* next_sibling_ = nullptr;
+  const int32_t* label_ = nullptr;
+  const uint32_t* text_offsets_ = nullptr;  // frozen only; size_ + 1 entries
+  const char* text_base_ = nullptr;         // frozen only
+
+  // Owned storage (built trees; empty when frozen).
+  std::vector<int32_t> own_parent_, own_first_child_, own_last_child_;
+  std::vector<int32_t> own_prev_sibling_, own_next_sibling_, own_label_;
+  std::vector<std::string> texts_;  // may be shorter than size_ (lazy)
+
   util::Interner labels_;
-  static const std::string kEmptyText;
 };
 
 /// Incremental construction of a Tree. Nodes are created root-first; children
@@ -145,8 +234,8 @@ class TreeBuilder {
   /// Sets the text payload of a node.
   void SetText(NodeId n, std::string_view text);
 
-  int32_t size() const { return static_cast<int32_t>(tree_.nodes_.size()); }
-  bool has_root() const { return !tree_.nodes_.empty(); }
+  int32_t size() const { return static_cast<int32_t>(tree_.own_label_.size()); }
+  bool has_root() const { return !tree_.own_label_.empty(); }
 
   /// Finalizes the tree. The builder must not be reused afterwards.
   Tree Build();

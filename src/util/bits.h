@@ -1,11 +1,22 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 /// \file bits.h
-/// Small bit-math helpers shared by the runtime caches.
+/// Small bit-math helpers shared by the runtime caches and the NodeSet word
+/// loops.
 
 namespace mdatalog::util {
+
+/// Number of set bits in one 64-bit word (single popcnt instruction where
+/// available).
+inline int32_t Popcount64(uint64_t w) {
+  return static_cast<int32_t>(__builtin_popcountll(w));
+}
+
+/// Index of the lowest set bit of `w`. w must be nonzero.
+inline int32_t Ctz64(uint64_t w) { return std::countr_zero(w); }
 
 /// Smallest power of two >= v, for shard counts and sketch sizes. Inputs are
 /// clamped to [1, 2^30] — beyond that the doubling loop would overflow

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file hash.h
+/// Content hashing shared by the serving caches (src/runtime/) and the
+/// corpus store (src/store/). Moved out of the runtime so the store — which
+/// the runtime sits on top of — can key packed documents by the same content
+/// hash the document cache uses, without a dependency cycle.
+
+namespace mdatalog::util {
+
+/// FNV-1a 64-bit. Stable across runs; used for keys over *trusted* inputs
+/// (program text fingerprints).
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+/// 128-bit content hash: an FNV-1a stream plus a structurally different
+/// multiply-xorshift stream, one scan. Document/memo/store keys use this
+/// because the HTML is untrusted — a key collision would silently serve one
+/// page's extraction results for another, and 64 bits of a non-cryptographic
+/// hash is constructible. Not cryptographic either (see the note at the
+/// definition); swap in a keyed hash if adversarial collision search is in
+/// the threat model.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  bool operator==(const Hash128&) const = default;
+};
+
+inline Hash128 HashBytes128(std::string_view bytes) {
+  // Two structurally different accumulators over one scan: `lo` is standard
+  // FNV-1a; `hi` is a multiply-xorshift (splitmix-style) stream, so a
+  // differential that collides the FNV polynomial does not transfer to the
+  // second state. Not cryptographic — a determined attacker with offline
+  // search could still target the pair — but the serving caches fail
+  // *wrong-answer-silently* on collision, so the bar sits deliberately far
+  // above a single 64-bit FNV. Swap in a keyed hash (SipHash) here if the
+  // deployment threat model includes adversarial collision search.
+  Hash128 h;
+  h.lo = 1469598103934665603ULL;
+  h.hi = 0x9e3779b97f4a7c15ULL;
+  for (unsigned char c : bytes) {
+    h.lo = (h.lo ^ c) * 1099511628211ULL;
+    uint64_t x = h.hi + 0x9e3779b97f4a7c15ULL + c;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h.hi = x ^ (x >> 27);
+  }
+  h.hi ^= static_cast<uint64_t>(bytes.size());  // length guard
+  return h;
+}
+
+}  // namespace mdatalog::util

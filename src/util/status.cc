@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

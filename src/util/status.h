@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted, ///< configured limit exceeded (step budget, state budget)
   kDeadlineExceeded,  ///< per-request deadline expired mid-evaluation
   kCancelled,         ///< caller cooperatively cancelled the request
+  kDataLoss,          ///< stored bytes corrupt/truncated (checksum mismatch)
 };
 
 /// Returns the canonical name of a status code, e.g. "InvalidArgument".
@@ -57,6 +58,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
