@@ -8,27 +8,29 @@
 
 namespace mdatalog::html {
 
-namespace {
-
-const std::set<std::string>& VoidElements() {
+bool IsVoidElement(const std::string& name) {
   static const std::set<std::string> kVoid = {
       "area", "base", "br",    "col",  "embed", "hr",   "img",
       "input", "link", "meta", "param", "source", "track", "wbr"};
-  return kVoid;
+  return kVoid.count(name) > 0;
 }
 
-/// Returns the set of open tags that a start tag `name` implicitly closes.
-std::vector<std::string> AutoCloses(const std::string& name) {
-  if (name == "li") return {"li"};
-  if (name == "td" || name == "th") return {"td", "th"};
-  if (name == "tr") return {"tr", "td", "th"};
-  if (name == "p") return {"p"};
-  if (name == "option") return {"option"};
-  if (name == "dd" || name == "dt") return {"dd", "dt"};
-  return {};
+const std::vector<std::string>& AutoCloses(const std::string& name) {
+  static const std::vector<std::string> kNone = {};
+  static const std::vector<std::string> kLi = {"li"};
+  static const std::vector<std::string> kCell = {"td", "th"};
+  static const std::vector<std::string> kRow = {"tr", "td", "th"};
+  static const std::vector<std::string> kP = {"p"};
+  static const std::vector<std::string> kOption = {"option"};
+  static const std::vector<std::string> kDef = {"dd", "dt"};
+  if (name == "li") return kLi;
+  if (name == "td" || name == "th") return kCell;
+  if (name == "tr") return kRow;
+  if (name == "p") return kP;
+  if (name == "option") return kOption;
+  if (name == "dd" || name == "dt") return kDef;
+  return kNone;
 }
-
-}  // namespace
 
 std::string Document::GetAttr(tree::NodeId n, const std::string& name) const {
   if (static_cast<size_t>(n) >= attrs_.size()) return "";
@@ -91,14 +93,14 @@ util::Result<Document> ParseHtml(std::string_view html) {
       case Token::Type::kStartTag: {
         // Pop every implicitly-closed element (e.g. <tr> closes an open td
         // and then the open tr).
-        const std::vector<std::string> closes = AutoCloses(token.data);
+        const std::vector<std::string>& closes = AutoCloses(token.data);
         while (stack.size() > 1 &&
                std::find(closes.begin(), closes.end(),
                          stack.back().second) != closes.end()) {
           stack.pop_back();
         }
         tree::NodeId n = open_node(token.data, token.attrs);
-        bool is_void = VoidElements().count(token.data) > 0;
+        bool is_void = IsVoidElement(token.data);
         if (!is_void && !token.self_closing) stack.emplace_back(n, token.data);
         break;
       }
@@ -121,27 +123,17 @@ util::Result<Document> ParseHtml(std::string_view html) {
   if (full.size() == 1) {
     return util::Status::InvalidArgument("no content in HTML input");
   }
-  // Strip the synthetic root when the document has a unique top-level node.
+  // Strip the synthetic root when the document has a unique top-level node
+  // (node ids shift down by one: the builder appends in document order, so
+  // the preorder copy renumbers node k to k-1).
   if (full.NumChildren(full.root()) == 1) {
-    tree::NodeId top = full.first_child(full.root());
-    // Rebuild rooted at `top` (node ids shift down by one).
-    tree::TreeBuilder rebuilt;
+    std::vector<tree::NodeId> src_of_dst;
+    tree::Tree stripped =
+        tree::CopySubtree(full, full.first_child(full.root()), &src_of_dst);
     std::vector<std::vector<std::pair<std::string, std::string>>> new_attrs;
-    std::function<void(tree::NodeId, tree::NodeId)> copy =
-        [&](tree::NodeId src, tree::NodeId dst_parent) {
-          tree::NodeId dst =
-              dst_parent == tree::kNoNode
-                  ? rebuilt.Root(full.label_name(src))
-                  : rebuilt.Child(dst_parent, full.label_name(src));
-          new_attrs.push_back(attrs[src]);
-          if (full.HasText(src)) rebuilt.SetText(dst, full.text(src));
-          for (tree::NodeId c = full.first_child(src); c != tree::kNoNode;
-               c = full.next_sibling(c)) {
-            copy(c, dst);
-          }
-        };
-    copy(top, tree::kNoNode);
-    return Document(rebuilt.Build(), std::move(new_attrs));
+    new_attrs.reserve(src_of_dst.size());
+    for (tree::NodeId src : src_of_dst) new_attrs.push_back(attrs[src]);
+    return Document(std::move(stripped), std::move(new_attrs));
   }
   return Document(std::move(full), std::move(attrs));
 }

@@ -53,4 +53,13 @@ util::Result<Document> ParseHtml(std::string_view html);
 tree::Tree ProjectAttributeIntoLabels(const Document& doc,
                                       const std::string& attr);
 
+/// The HTML void elements (never have children, never go on the open stack).
+/// Shared between the batch parser and the streaming front so both build the
+/// same tree shape for the same byte stream.
+bool IsVoidElement(const std::string& name);
+
+/// Returns the set of open tags that a start tag `name` implicitly closes
+/// (e.g. a new <tr> closes an open td and then the open tr).
+const std::vector<std::string>& AutoCloses(const std::string& name);
+
 }  // namespace mdatalog::html

@@ -22,160 +22,252 @@ bool IsNameChar(char c) {
          c == ':';
 }
 
-class Tokenizer {
- public:
-  explicit Tokenizer(std::string_view html) : html_(html) {}
+}  // namespace
 
-  std::vector<Token> Run() {
-    while (pos_ < html_.size()) {
-      if (html_[pos_] == '<') {
-        if (!TryTag()) {
-          // A stray '<' is literal text.
-          text_ += '<';
-          ++pos_;
+void StreamTokenizer::FlushText(std::vector<Token>* out) {
+  // Whitespace-only runs between tags carry no content.
+  bool all_space = true;
+  for (char c : text_) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      all_space = false;
+      break;
+    }
+  }
+  if (!text_.empty() && !all_space) {
+    out->push_back({Token::Type::kText, DecodeEntities(text_), {}, false});
+  }
+  text_.clear();
+}
+
+/// Scans one markup construct starting at the '<' at buf_[i]. kToken means
+/// `*token` is complete and `*end` is the first unconsumed index; kStray
+/// means the '<' is literal text; kNeedMore (never with eof) means the
+/// construct straddles the end of the buffer and must wait for more bytes —
+/// the next Feed rescans it from scratch, which keeps every decision
+/// identical to the batch scan over the full document. With eof the scan
+/// applies exactly the historical end-of-input semantics (unterminated
+/// constructs are closed at the end of the buffer).
+StreamTokenizer::Scan StreamTokenizer::ScanMarkup(size_t i, bool eof,
+                                                  util::EvalTicker* ticker,
+                                                  Token* token, size_t* end) {
+  const std::string& b = buf_;
+  const size_t len = b.size();
+  size_t p = i + 1;  // past '<'
+  if (p >= len) return eof ? Scan::kStray : Scan::kNeedMore;
+  if (b[p] == '!') {
+    // "<!" or "<!-" at the buffer edge could still grow into "<!--".
+    if (!eof && len - p < 3 && b.compare(p, len - p, "!--", len - p) == 0) {
+      return Scan::kNeedMore;
+    }
+    if (b.compare(p, 3, "!--") == 0) {
+      size_t close = b.find("-->", p + 3);
+      if (close == std::string::npos && !eof) return Scan::kNeedMore;
+      std::string body = b.substr(
+          p + 3, close == std::string::npos ? std::string::npos
+                                            : close - (p + 3));
+      *end = close == std::string::npos ? len : close + 3;
+      *token = {Token::Type::kComment, std::move(body), {}, false};
+      return Scan::kToken;
+    }
+    // Doctype or other declaration.
+    size_t close = b.find('>', p);
+    if (close == std::string::npos && !eof) return Scan::kNeedMore;
+    std::string body =
+        b.substr(p + 1, close == std::string::npos ? std::string::npos
+                                                   : close - p - 1);
+    *end = close == std::string::npos ? len : close + 1;
+    *token = {Token::Type::kDoctype, std::move(body), {}, false};
+    return Scan::kToken;
+  }
+  bool closing = b[p] == '/';
+  if (closing) ++p;
+  if (p >= len) return eof ? Scan::kStray : Scan::kNeedMore;
+  if (!std::isalpha(static_cast<unsigned char>(b[p]))) return Scan::kStray;
+  size_t name_start = p;
+  while (p < len && IsNameChar(b[p])) {
+    ++p;
+    if (scan_status_ = ticker->Tick(); !scan_status_.ok()) {
+      return Scan::kAborted;
+    }
+  }
+  std::string name = LowerCase(std::string_view(b).substr(name_start, p - name_start));
+
+  Token t;
+  t.type = closing ? Token::Type::kEndTag : Token::Type::kStartTag;
+  t.data = name;
+
+  // Attributes. Any scan that runs off the end of the buffer before the
+  // closing '>' falls out of this loop with p == len, which is exactly the
+  // batch end-of-input state — held back below unless eof.
+  while (p < len && b[p] != '>') {
+    if (scan_status_ = ticker->Tick(); !scan_status_.ok()) {
+      return Scan::kAborted;
+    }
+    if (std::isspace(static_cast<unsigned char>(b[p]))) {
+      ++p;
+      continue;
+    }
+    if (b[p] == '/' && p + 1 < len && b[p + 1] == '>') {
+      t.self_closing = true;
+      ++p;
+      continue;
+    }
+    if (!std::isalpha(static_cast<unsigned char>(b[p]))) {
+      ++p;  // skip junk
+      continue;
+    }
+    size_t attr_start = p;
+    while (p < len && IsNameChar(b[p])) ++p;
+    Attribute attr;
+    attr.name =
+        LowerCase(std::string_view(b).substr(attr_start, p - attr_start));
+    while (p < len && std::isspace(static_cast<unsigned char>(b[p]))) {
+      ++p;
+    }
+    if (p < len && b[p] == '=') {
+      ++p;
+      while (p < len && std::isspace(static_cast<unsigned char>(b[p]))) {
+        ++p;
+      }
+      if (p < len && (b[p] == '"' || b[p] == '\'')) {
+        char quote = b[p++];
+        size_t vstart = p;
+        while (p < len && b[p] != quote) {
+          ++p;
+          if (scan_status_ = ticker->Tick(); !scan_status_.ok()) {
+            return Scan::kAborted;
+          }
         }
+        attr.value =
+            DecodeEntities(std::string_view(b).substr(vstart, p - vstart));
+        if (p < len) ++p;  // closing quote
       } else {
-        text_ += html_[pos_++];
+        size_t vstart = p;
+        while (p < len && b[p] != '>' &&
+               !std::isspace(static_cast<unsigned char>(b[p]))) {
+          ++p;
+          if (scan_status_ = ticker->Tick(); !scan_status_.ok()) {
+            return Scan::kAborted;
+          }
+        }
+        attr.value =
+            DecodeEntities(std::string_view(b).substr(vstart, p - vstart));
       }
     }
-    FlushText();
-    return std::move(tokens_);
+    if (!closing) t.attrs.push_back(std::move(attr));
   }
+  if (p >= len && !eof) return Scan::kNeedMore;  // tag split by the chunk edge
+  if (p < len) ++p;  // consume '>'
+  *end = p;
+  *token = std::move(t);
+  return Scan::kToken;
+}
 
- private:
-  void FlushText() {
-    // Whitespace-only runs between tags carry no content.
-    bool all_space = true;
-    for (char c : text_) {
-      if (!std::isspace(static_cast<unsigned char>(c))) {
-        all_space = false;
+bool StreamTokenizer::DrainRawText(bool eof, std::vector<Token>* out) {
+  size_t e = buf_.find(raw_closer_);
+  if (e == std::string::npos) {
+    if (!eof) {
+      // Discard swallowed content; keep only the longest possible prefix of
+      // the closer at the buffer edge (an occurrence overlapping the chunk
+      // boundary has at most closer.size()-1 bytes in this buffer).
+      size_t keep = raw_closer_.size() - 1;
+      if (buf_.size() > keep) buf_.erase(0, buf_.size() - keep);
+      return false;
+    }
+    // Closer never appears: content runs to end of input, no end tag.
+    buf_.clear();
+    raw_closer_.clear();
+    raw_name_.clear();
+    return true;
+  }
+  size_t gt = buf_.find('>', e);
+  if (gt == std::string::npos && !eof) {
+    buf_.erase(0, e);  // closer located; still waiting for its '>'
+    return false;
+  }
+  buf_.erase(0, gt == std::string::npos ? buf_.size() : gt + 1);
+  out->push_back({Token::Type::kEndTag, raw_name_, {}, false});
+  raw_closer_.clear();
+  raw_name_.clear();
+  return true;
+}
+
+util::Status StreamTokenizer::Drain(bool eof, std::vector<Token>* out,
+                                    const util::EvalControl* control) {
+  util::EvalTicker ticker(control);
+  for (;;) {
+    if (!raw_closer_.empty()) {
+      MD_RETURN_NOT_OK(ticker.Tick());
+      if (!DrainRawText(eof, out)) return util::Status::OK();
+    }
+    size_t i = 0;
+    bool entered_raw = false;
+    while (i < buf_.size()) {
+      MD_RETURN_NOT_OK(ticker.Tick());
+      if (buf_[i] != '<') {
+        text_ += buf_[i++];
+        continue;
+      }
+      Token token;
+      size_t end = 0;
+      Scan r = ScanMarkup(i, eof, &ticker, &token, &end);
+      if (r == Scan::kAborted) {
+        buf_.erase(0, i);
+        return scan_status_;
+      }
+      if (r == Scan::kNeedMore) {
+        buf_.erase(0, i);
+        return util::Status::OK();
+      }
+      if (r == Scan::kStray) {
+        // A stray '<' is literal text.
+        text_ += '<';
+        ++i;
+        continue;
+      }
+      FlushText(out);
+      bool raw = token.type == Token::Type::kStartTag &&
+                 (token.data == "script" || token.data == "style");
+      if (raw) {
+        // Raw-text elements swallow everything up to the matching end tag
+        // (even when written self-closing, matching the batch scanner).
+        raw_name_ = token.data;
+        raw_closer_ = "</" + token.data;
+      }
+      out->push_back(std::move(token));
+      i = end;
+      if (raw) {
+        entered_raw = true;
         break;
       }
     }
-    if (!text_.empty() && !all_space) {
-      tokens_.push_back(
-          {Token::Type::kText, DecodeEntities(text_), {}, false});
-    }
-    text_.clear();
+    buf_.erase(0, i);
+    if (!entered_raw) return util::Status::OK();
   }
+}
 
-  bool TryTag() {
-    size_t save = pos_;
-    ++pos_;  // consume '<'
-    if (pos_ >= html_.size()) {
-      pos_ = save;
-      return false;
-    }
-    if (html_.compare(pos_, 3, "!--") == 0) {
-      FlushText();
-      pos_ += 3;
-      size_t end = html_.find("-->", pos_);
-      std::string body(html_.substr(pos_, end == std::string_view::npos
-                                              ? std::string_view::npos
-                                              : end - pos_));
-      pos_ = end == std::string_view::npos ? html_.size() : end + 3;
-      tokens_.push_back({Token::Type::kComment, std::move(body), {}, false});
-      return true;
-    }
-    if (html_[pos_] == '!') {  // doctype or other declaration
-      FlushText();
-      size_t end = html_.find('>', pos_);
-      std::string body(html_.substr(
-          pos_ + 1,
-          end == std::string_view::npos ? std::string_view::npos
-                                        : end - pos_ - 1));
-      pos_ = end == std::string_view::npos ? html_.size() : end + 1;
-      tokens_.push_back({Token::Type::kDoctype, std::move(body), {}, false});
-      return true;
-    }
-    bool closing = html_[pos_] == '/';
-    size_t p = pos_ + (closing ? 1 : 0);
-    if (p >= html_.size() ||
-        !std::isalpha(static_cast<unsigned char>(html_[p]))) {
-      pos_ = save;
-      return false;
-    }
-    size_t name_start = p;
-    while (p < html_.size() && IsNameChar(html_[p])) ++p;
-    std::string name = LowerCase(html_.substr(name_start, p - name_start));
-
-    Token token;
-    token.type = closing ? Token::Type::kEndTag : Token::Type::kStartTag;
-    token.data = name;
-
-    // Attributes.
-    while (p < html_.size() && html_[p] != '>') {
-      if (std::isspace(static_cast<unsigned char>(html_[p]))) {
-        ++p;
-        continue;
-      }
-      if (html_[p] == '/' && p + 1 < html_.size() && html_[p + 1] == '>') {
-        token.self_closing = true;
-        ++p;
-        continue;
-      }
-      if (!std::isalpha(static_cast<unsigned char>(html_[p]))) {
-        ++p;  // skip junk
-        continue;
-      }
-      size_t attr_start = p;
-      while (p < html_.size() && IsNameChar(html_[p])) ++p;
-      Attribute attr;
-      attr.name = LowerCase(html_.substr(attr_start, p - attr_start));
-      while (p < html_.size() &&
-             std::isspace(static_cast<unsigned char>(html_[p]))) {
-        ++p;
-      }
-      if (p < html_.size() && html_[p] == '=') {
-        ++p;
-        while (p < html_.size() &&
-               std::isspace(static_cast<unsigned char>(html_[p]))) {
-          ++p;
-        }
-        if (p < html_.size() && (html_[p] == '"' || html_[p] == '\'')) {
-          char quote = html_[p++];
-          size_t vstart = p;
-          while (p < html_.size() && html_[p] != quote) ++p;
-          attr.value = DecodeEntities(html_.substr(vstart, p - vstart));
-          if (p < html_.size()) ++p;  // closing quote
-        } else {
-          size_t vstart = p;
-          while (p < html_.size() && html_[p] != '>' &&
-                 !std::isspace(static_cast<unsigned char>(html_[p]))) {
-            ++p;
-          }
-          attr.value = DecodeEntities(html_.substr(vstart, p - vstart));
-        }
-      }
-      if (!closing) token.attrs.push_back(std::move(attr));
-    }
-    if (p < html_.size()) ++p;  // consume '>'
-    pos_ = p;
-    FlushText();
-    tokens_.push_back(token);
-
-    // Raw-text elements: swallow everything up to the matching end tag.
-    if (!closing && (name == "script" || name == "style")) {
-      std::string closer = "</" + name;
-      size_t end = html_.find(closer, pos_);
-      if (end == std::string_view::npos) {
-        pos_ = html_.size();
-      } else {
-        size_t gt = html_.find('>', end);
-        pos_ = gt == std::string_view::npos ? html_.size() : gt + 1;
-        tokens_.push_back({Token::Type::kEndTag, name, {}, false});
-      }
-    }
-    return true;
+util::Status StreamTokenizer::Feed(std::string_view chunk,
+                                   std::vector<Token>* out,
+                                   const util::EvalControl* control) {
+  if (finished_) {
+    return util::Status::FailedPrecondition(
+        "StreamTokenizer::Feed after Finish");
   }
+  buf_.append(chunk);
+  return Drain(/*eof=*/false, out, control);
+}
 
-  std::string_view html_;
-  size_t pos_ = 0;
-  std::string text_;
-  std::vector<Token> tokens_;
-};
-
-}  // namespace
+util::Status StreamTokenizer::Finish(std::vector<Token>* out,
+                                     const util::EvalControl* control) {
+  if (finished_) {
+    return util::Status::FailedPrecondition(
+        "StreamTokenizer::Finish called twice");
+  }
+  finished_ = true;
+  MD_RETURN_NOT_OK(Drain(/*eof=*/true, out, control));
+  FlushText(out);
+  return util::Status::OK();
+}
 
 std::string DecodeEntities(std::string_view text) {
   std::string out;
@@ -228,7 +320,13 @@ std::string DecodeEntities(std::string_view text) {
 }
 
 std::vector<Token> Tokenize(std::string_view html) {
-  return Tokenizer(html).Run();
+  StreamTokenizer tokenizer;
+  std::vector<Token> out;
+  // Without an EvalControl the incremental scanner cannot fail.
+  util::Status st = tokenizer.Feed(html, &out);
+  if (st.ok()) st = tokenizer.Finish(&out);
+  (void)st;
+  return out;
 }
 
 }  // namespace mdatalog::html

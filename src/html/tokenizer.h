@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 /// \file tokenizer.h
@@ -15,6 +16,12 @@
 /// and bare), self-closing tags, comments, doctype, character data with
 /// basic entity decoding (&amp; &lt; &gt; &quot; &apos; &nbsp; &#NN;), and
 /// raw-text elements (script, style) whose content is not tokenized.
+///
+/// Two entry points share one implementation: the incremental
+/// StreamTokenizer accepts the document in arbitrary chunks (a construct
+/// split across a chunk boundary is buffered until enough bytes arrive),
+/// and the batch Tokenize() is Feed(everything) + Finish(). The token
+/// stream is therefore byte-identical regardless of chunking.
 
 namespace mdatalog::html {
 
@@ -37,8 +44,53 @@ struct Token {
   bool self_closing = false;      ///< kStartTag only
 };
 
-/// Tokenizes HTML. Never fails on malformed markup (stray '<' becomes text;
-/// an unterminated tag or comment is closed at end of input).
+/// Incremental tokenizer: call Feed() once per arriving chunk, then Finish()
+/// exactly once at end of input. Completed tokens are appended to `out` as
+/// soon as the bytes that finish them arrive; a construct that straddles the
+/// current chunk boundary (an open tag, comment, doctype, raw-text element,
+/// or a text run that the next construct would flush) is held until Feed()
+/// receives the rest or Finish() applies end-of-input semantics.
+///
+/// Never fails on malformed markup (stray '<' becomes text; an unterminated
+/// tag or comment is closed at end of input). The only failure mode is the
+/// optional EvalControl firing, in which case the typed kDeadlineExceeded /
+/// kCancelled status unwinds out of the parse itself and the tokenizer must
+/// not be used further.
+class StreamTokenizer {
+ public:
+  util::Status Feed(std::string_view chunk, std::vector<Token>* out,
+                    const util::EvalControl* control = nullptr);
+  util::Status Finish(std::vector<Token>* out,
+                      const util::EvalControl* control = nullptr);
+
+  bool finished() const { return finished_; }
+
+  /// Bytes currently held back waiting for more input: the unconsumed prefix
+  /// of a split construct plus any unflushed text run.
+  size_t buffered_bytes() const { return buf_.size() + text_.size(); }
+
+ private:
+  enum class Scan { kToken, kStray, kNeedMore, kAborted };
+
+  util::Status Drain(bool eof, std::vector<Token>* out,
+                     const util::EvalControl* control);
+  Scan ScanMarkup(size_t i, bool eof, util::EvalTicker* ticker, Token* token,
+                  size_t* end);
+  /// Raw-text (script/style) content handling; consumes from the front of
+  /// buf_. Returns true when the raw element was closed (or eof discarded
+  /// it) and normal scanning may resume.
+  bool DrainRawText(bool eof, std::vector<Token>* out);
+  void FlushText(std::vector<Token>* out);
+
+  std::string buf_;        ///< unconsumed bytes of a split construct
+  std::string text_;       ///< raw text run accumulated since the last flush
+  std::string raw_closer_; ///< "</name" while inside a raw-text element
+  std::string raw_name_;   ///< the raw-text element name, for its end tag
+  util::Status scan_status_;  ///< failure captured inside ScanMarkup
+  bool finished_ = false;
+};
+
+/// Tokenizes HTML in one call. Never fails on malformed markup.
 std::vector<Token> Tokenize(std::string_view html);
 
 /// Decodes the supported character entities in `text`.

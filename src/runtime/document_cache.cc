@@ -113,18 +113,28 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
   // expensive part, and concurrent misses on *different* documents must not
   // serialize. Concurrent misses on the same document may prepare twice; the
   // second admission wins the map slot and the first copy dies with its
-  // callers — wasteful but correct.
-  MD_ASSIGN_OR_RETURN(std::shared_ptr<const CachedDocument> doc,
-                      PrepareDocument(html, project_attr, content_hash));
-  if (byte_budget_ <= 0) return doc;
+  // callers — wasteful but correct. store_hits is booked only once the
+  // locally-prepared document is actually served (below): a rehydration that
+  // loses the insert race is discarded work, and counting it would
+  // double-count the page against a concurrent preparer of the same hash.
+  bool from_store = false;
+  MD_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CachedDocument> doc,
+      PrepareDocument(html, project_attr, content_hash, &from_store));
+  if (byte_budget_ <= 0) {
+    if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
+    return doc;
+  }
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    // Lost the parse race; serve the admitted copy.
+    // Lost the parse race; serve the admitted copy (our own preparation is
+    // discarded, so it must not appear in the store_hits accounting).
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->doc;
   }
+  if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
   const int64_t candidate_bytes = doc->ApproxBytes();
   if (shard.lfu.has_value()) {
     // TinyLFU admission: the candidate may only displace resident entries it
@@ -153,12 +163,14 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
 util::Result<std::shared_ptr<const CachedDocument>>
 DocumentCache::PrepareDocument(std::string_view html,
                                const std::string& project_attr,
-                               const Hash128& content_hash) {
+                               const Hash128& content_hash,
+                               bool* from_store) {
+  *from_store = false;
   if (corpus_store_ != nullptr) {
     util::Result<store::FrozenDocument> frozen =
         corpus_store_->Find(content_hash, project_attr);
     if (frozen.ok()) {
-      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      *from_store = true;
       return CachedDocument::FromFrozen(*frozen, corpus_store_);
     }
     // NotFound: the corpus simply doesn't have this page. DataLoss: it does

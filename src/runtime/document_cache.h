@@ -235,9 +235,13 @@ class DocumentCache {
 
   /// Prepares a document for `html` without parsing if the corpus store has
   /// it; falls back to CachedDocument::Parse. Called outside shard locks.
+  /// Sets `*from_store` when the document was rehydrated from the corpus
+  /// store; the caller books the store_hits stat only if that copy is the one
+  /// it actually serves (a preparation that loses the concurrent insert race
+  /// on the same content hash is discarded and must not be counted).
   util::Result<std::shared_ptr<const CachedDocument>> PrepareDocument(
       std::string_view html, const std::string& project_attr,
-      const Hash128& content_hash);
+      const Hash128& content_hash, bool* from_store);
 
   const int64_t byte_budget_;        // total, across shards
   const int64_t shard_byte_budget_;  // per shard

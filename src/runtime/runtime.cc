@@ -5,6 +5,7 @@
 
 #include "src/core/eval.h"
 #include "src/elog/eval.h"
+#include "src/stream/stream_session.h"
 #include "src/tree/serialize.h"
 #include "src/util/bits.h"
 #include "src/util/check.h"
@@ -168,6 +169,38 @@ void WrapperRuntime::CountFailure(const util::Status& status) {
   }
 }
 
+util::Result<std::unique_ptr<stream::StreamSession>>
+WrapperRuntime::SubmitStream(const WrapperHandle& handle,
+                             stream::StreamOptions options,
+                             const RequestOptions& request) {
+  MD_CHECK(handle.program != nullptr);
+  const util::EvalControl control(request.deadline, request.cancel.get());
+  if (!control.unbounded()) {
+    util::Status s = control.Check();
+    if (!s.ok()) {
+      CountFailure(s);
+      return s;
+    }
+  }
+  // Chain the session's terminal status into the runtime counters; the
+  // user's own on_finish (if any) still fires.
+  auto user_on_finish = std::move(options.on_finish);
+  options.on_finish = [this, user_on_finish =
+                                 std::move(user_on_finish)](
+                          const util::Status& status) {
+    if (status.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++pages_wrapped_;
+      ++stream_sessions_;
+    } else {
+      CountFailure(status);
+    }
+    if (user_on_finish) user_on_finish(status);
+  };
+  return std::make_unique<stream::StreamSession>(
+      handle.program, handle.project_attr, std::move(options), request);
+}
+
 std::future<util::Result<std::string>> WrapperRuntime::Submit(
     const WrapperHandle& handle, std::string html,
     const RequestOptions& request) {
@@ -286,6 +319,7 @@ RuntimeStats WrapperRuntime::stats() const {
   out.native_evals = native_evals_;
   out.deadline_exceeded = deadline_exceeded_;
   out.cancelled = cancelled_;
+  out.stream_sessions = stream_sessions_;
   return out;
 }
 

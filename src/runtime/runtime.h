@@ -15,6 +15,7 @@
 #include "src/runtime/document_cache.h"
 #include "src/runtime/program_cache.h"
 #include "src/runtime/thread_pool.h"
+#include "src/stream/stream_types.h"
 #include "src/util/deadline.h"
 #include "src/util/result.h"
 #include "src/wrapper/wrapper.h"
@@ -36,6 +37,10 @@
 /// engines poll cooperatively — a pathological page unwinds with a typed
 /// kDeadlineExceeded / kCancelled status instead of occupying a pool worker
 /// forever.
+
+namespace mdatalog::stream {
+class StreamSession;  // stream_session.h includes runtime.h, not vice versa
+}  // namespace mdatalog::stream
 
 namespace mdatalog::runtime {
 
@@ -109,6 +114,7 @@ struct RuntimeStats {
   int64_t native_evals = 0;
   int64_t deadline_exceeded = 0;   // requests unwound by their deadline
   int64_t cancelled = 0;           // requests unwound by their cancel token
+  int64_t stream_sessions = 0;     // stream sessions finished successfully
 };
 
 /// A registered wrapper: the shared compiled program plus the attribute
@@ -142,6 +148,17 @@ class WrapperRuntime {
   /// Enqueues one page on the thread pool.
   std::future<util::Result<std::string>> Submit(
       const WrapperHandle& handle, std::string html,
+      const RequestOptions& request = {});
+
+  /// Opens a streaming wrap session: the page arrives in chunks
+  /// (StreamSession::Feed) and extraction results emit via
+  /// `options.on_result` as soon as they are derived and final — before end
+  /// of input for programs on the datalog pipeline. Finish() returns XML
+  /// byte-identical to Wrap on the concatenated bytes. The session is not
+  /// cached or memoized (its page has no complete bytes to key on) and must
+  /// not outlive the runtime. Fails fast if `request` is already expired.
+  util::Result<std::unique_ptr<stream::StreamSession>> SubmitStream(
+      const WrapperHandle& handle, stream::StreamOptions options,
       const RequestOptions& request = {});
 
   /// Fans a corpus across the workers and merges deterministically: the
@@ -231,6 +248,7 @@ class WrapperRuntime {
   int64_t native_evals_ = 0;
   int64_t deadline_exceeded_ = 0;
   int64_t cancelled_ = 0;
+  int64_t stream_sessions_ = 0;
 
   // Last member on purpose: ~ThreadPool drains queued jobs, and those jobs
   // touch every cache/mutex above — the pool must die (and drain) first.

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/html/tokenizer.h"
+#include "src/runtime/runtime.h"
+#include "src/stream/incremental_eval.h"
+#include "src/stream/stream_types.h"
+#include "src/tree/tree.h"
+#include "src/util/result.h"
+
+/// \file stream_session.h
+/// Streaming incremental extraction: one wrap request whose page arrives in
+/// chunks. Feed() pushes bytes through the incremental tokenizer, grows the
+/// document tree, asserts EDB facts the moment they become finally true, and
+/// runs semi-naive delta rounds over the compiled TMNF program — extraction
+/// results are emitted via StreamOptions::on_result as soon as they are both
+/// derived and final, typically long before end of input. Finish() settles
+/// the root, runs the last delta round and returns the output XML, byte-
+/// identical to what batch WrapperRuntime::Wrap produces on the concatenated
+/// bytes — for every input under every chunking (the invariant the
+/// differential harness in tests/stream_test.cc pins).
+///
+/// Fact finality is the load-bearing idea: label and structure links are
+/// asserted at node creation, leaf/lastsibling/lastchild when the element
+/// closes. The EDB is therefore insert-only, datalog is monotone, and every
+/// pre-EOF derivation is sound — see incremental_eval.h.
+///
+/// The one fact that is NOT known before end of input is the root: the batch
+/// parser strips the synthetic "#document" node when it ends up with exactly
+/// one top-level child, so `root` is node 1 (internal) for ordinary
+/// single-rooted HTML and node 0 for multi-rooted fragments — and almost
+/// every derivation chain starts at `root`. Waiting for EOF would kill
+/// streaming. Instead the session runs the SAME insert-only evaluator under
+/// BOTH hypotheses: one asserts root(1) and no node-0 fact at all (the
+/// stripped world, where the asserted structure is the batch EDB shifted up
+/// by one and constant-free rules carry derivations across the isomorphism),
+/// the other asserts root(0), label_#document(0) and the node-0 links
+/// incrementally (the kept world). A result emits before EOF only when it is
+/// derived under BOTH hypotheses and its subtree is closed — sound whichever
+/// way the input ends. The hypothesis resolves the moment a second top-level
+/// node arrives (kept) or at Finish (stripped); the loser is discarded and
+/// the winner's remaining closed derivations flush.
+///
+/// Programs outside the datalog pipeline (Elog⁻Δ builtins) degrade
+/// gracefully: the session still parses incrementally but evaluates natively
+/// at Finish (streaming() == false); results then all emit at Finish.
+
+namespace mdatalog::stream {
+
+class StreamSession {
+ public:
+  /// `program` is a compiled wrapper from the runtime's program cache;
+  /// `project_attr` mirrors WrapperHandle::project_attr (Remark 2.2
+  /// attribute projection, applied to labels as nodes are created).
+  /// `request` carries the deadline / cancel token; both the tokenizer and
+  /// the delta rounds poll it.
+  StreamSession(std::shared_ptr<const runtime::CompiledWrapperProgram> program,
+                std::string project_attr, StreamOptions options,
+                runtime::RequestOptions request = {});
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Consumes the next chunk of the page. Chunk boundaries are arbitrary —
+  /// mid-tag, mid-attribute, mid-entity, one byte at a time — and never
+  /// observable in the results. On error (deadline, cancellation) the
+  /// session is dead: every later call returns the same status.
+  util::Status Feed(std::string_view chunk);
+
+  /// Ends the input, runs evaluation to fixpoint, emits any still-pending
+  /// results and returns the output XML — byte-identical to batch Wrap on
+  /// the full page. Calling Feed or Finish afterwards fails.
+  util::Result<std::string> Finish();
+
+  /// True when the program compiled for incremental evaluation (results can
+  /// emit before Finish); false = parse-only streaming with batch evaluation
+  /// at Finish.
+  bool streaming() const { return incremental_; }
+  /// Whether the synthetic "#document" root was stripped from the output
+  /// tree (final ids = internal ids - 1). Meaningful once the second
+  /// top-level node arrives (false from then on) or after Finish.
+  bool stripped() const { return stripped_; }
+  /// Bytes held back by the tokenizer waiting for a construct to complete
+  /// (bounded by the longest tag/comment/script body, not the page).
+  size_t buffered_bytes() const { return tokenizer_.buffered_bytes(); }
+
+ private:
+  /// Terminal-state bookkeeping: latches the first non-OK status and fires
+  /// on_finish exactly once (also on successful Finish, with OK).
+  util::Status Terminal(util::Status status);
+  util::Status CheckLive();
+
+  void ProcessTokens(const std::vector<html::Token>& tokens);
+  /// `label` is already projected (Remark 2.2); attributes are not retained.
+  tree::NodeId CreateNode(const std::string& label);
+  void CloseNode(tree::NodeId n);
+  /// Second top-level node arrived: the root is definitely kept. Drops the
+  /// stripped-hypothesis evaluator and flushes everything the kept world has
+  /// already derived on closed subtrees.
+  void ResolveKept();
+  /// Emits (pattern pred, node) if it is derivation-eligible under the
+  /// current hypothesis state, its subtree is closed, and it has not emitted
+  /// yet.
+  void MaybeEmit(core::PredId pred, tree::NodeId node);
+  /// Re-examines every recorded derivation — called when the hypothesis
+  /// resolves and the emission criterion relaxes.
+  void FlushEligible();
+  void EmitResult(int32_t pattern_index, tree::NodeId node);
+  util::Status PropagateAll();
+
+  const util::EvalControl* control() const {
+    return control_.unbounded() ? nullptr : &control_;
+  }
+  static void AssertUnary(IncrementalTmnfEval* ev, core::PredId pred,
+                          tree::NodeId n) {
+    if (pred >= 0) ev->AddUnaryFact(pred, n);
+  }
+  static void AssertBinary(IncrementalTmnfEval* ev, core::PredId pred,
+                           tree::NodeId a, tree::NodeId b) {
+    if (pred >= 0) ev->AddBinaryFact(pred, a, b);
+  }
+  void AssertLabel(IncrementalTmnfEval* ev, const std::string& label,
+                   tree::NodeId n);
+  void AssertChildK(IncrementalTmnfEval* ev, int32_t k, tree::NodeId parent,
+                    tree::NodeId child);
+
+  const std::shared_ptr<const runtime::CompiledWrapperProgram> program_;
+  const std::string project_attr_;
+  const StreamOptions options_;
+  const runtime::RequestOptions request_;  // keeps the cancel token alive
+  const util::EvalControl control_;
+
+  html::StreamTokenizer tokenizer_;
+  tree::TreeBuilder builder_;
+  /// Open nodes, innermost last: (node, tag name). Mirrors the batch
+  /// parser's stack exactly (auto-close, unmatched end tags, void elements).
+  std::vector<std::pair<tree::NodeId, std::string>> stack_;
+  std::vector<int32_t> num_children_;  // per node, grows with the tree
+  std::vector<bool> closed_;           // per node: subtree complete
+
+  /// The two hypothesis worlds, both engaged when the program's TMNF
+  /// compiled for incremental evaluation; the loser is reset at resolution.
+  std::unique_ptr<IncrementalTmnfEval> eval_stripped_;
+  std::unique_ptr<IncrementalTmnfEval> eval_kept_;
+  bool incremental_ = false;
+  // EDB predicate ids in program_->tmnf (-1 = the program never reads it).
+  core::PredId root_pred_ = -1, leaf_pred_ = -1;
+  core::PredId lastsibling_pred_ = -1, firstsibling_pred_ = -1;
+  core::PredId firstchild_pred_ = -1, nextsibling_pred_ = -1;
+  core::PredId child_pred_ = -1, lastchild_pred_ = -1;
+  std::unordered_map<std::string, core::PredId> label_preds_;
+  std::unordered_map<int32_t, core::PredId> childk_preds_;
+  /// pattern pred → indices into prepared.extraction_patterns.
+  std::unordered_map<core::PredId, std::vector<int32_t>> pred_patterns_;
+  std::vector<core::PredId> pattern_pred_list_;
+  /// Per (pattern pred, node): bit 0 = derived in the stripped world, bit 1
+  /// = derived in the kept world, bit 2 = already emitted.
+  std::unordered_map<uint64_t, uint8_t> derived_;
+
+  bool settled_ = false;   // true once a second top-level node exists (kept)
+  bool stripped_ = false;  // decided at Finish when still unsettled
+  bool finished_ = false;
+  bool terminal_ = false;  // on_finish fired
+  util::Status status_;    // first error, latched
+};
+
+}  // namespace mdatalog::stream

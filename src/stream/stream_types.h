@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/tree/tree.h"
+#include "src/util/status.h"
+
+/// \file stream_types.h
+/// The result/options value types of the streaming front, split out so the
+/// serving runtime can declare SubmitStream without pulling in the session
+/// machinery (stream_session.h includes runtime.h, not the other way round).
+
+namespace mdatalog::stream {
+
+/// One extraction result, emitted as soon as it is both derived and final
+/// (the matched node's subtree has closed) — typically long before end of
+/// input.
+///
+/// `node` is the id in the session's internal tree, which keeps the batch
+/// parser's synthetic "#document" root until end of input decides whether it
+/// is stripped. The id in the final output tree is
+/// `node - (session.stripped() ? 1 : 0)` — resolvable only after Finish.
+/// `label` and `text` are already final when the result is emitted.
+struct StreamResult {
+  std::string pattern;  ///< extraction pattern that matched
+  std::string label;    ///< (projected) label of the matched node
+  std::string text;     ///< subtree text of the matched node, document order
+  tree::NodeId node = tree::kNoNode;  ///< provisional (internal) node id
+};
+
+struct StreamOptions {
+  /// Invoked on the Feed/Finish calling thread for every extraction result,
+  /// in derivation order, exactly once per (pattern, node). May be null
+  /// (results then only appear in Finish's XML).
+  std::function<void(const StreamResult&)> on_result;
+  /// Invoked exactly once when the session reaches a terminal state: the
+  /// final status of Finish, or the first error that killed the session.
+  /// Used by the runtime for stats accounting; sessions created directly may
+  /// leave it null.
+  std::function<void(const util::Status&)> on_finish;
+};
+
+}  // namespace mdatalog::stream

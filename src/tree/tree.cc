@@ -230,6 +230,25 @@ Tree TreeBuilder::Build() {
   return std::move(tree_);
 }
 
+Tree CopySubtree(const Tree& t, NodeId n, std::vector<NodeId>* src_of_dst) {
+  MD_CHECK(n >= 0 && n < t.size());
+  if (src_of_dst != nullptr) src_of_dst->clear();
+  TreeBuilder builder;
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src,
+                                                 NodeId dst_parent) {
+    NodeId dst = dst_parent == kNoNode
+                     ? builder.Root(t.label_name(src))
+                     : builder.Child(dst_parent, t.label_name(src));
+    if (src_of_dst != nullptr) src_of_dst->push_back(src);
+    if (t.HasText(src)) builder.SetText(dst, t.text(src));
+    for (NodeId c = t.first_child(src); c != kNoNode; c = t.next_sibling(c)) {
+      copy(c, dst);
+    }
+  };
+  copy(n, kNoNode);
+  return builder.Build();
+}
+
 namespace {
 
 bool SubtreesEqual(const Tree& a, NodeId na, const Tree& b, NodeId nb) {

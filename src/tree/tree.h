@@ -237,12 +237,43 @@ class TreeBuilder {
   int32_t size() const { return static_cast<int32_t>(tree_.own_label_.size()); }
   bool has_root() const { return !tree_.own_label_.empty(); }
 
+  // Read access to the partially-built tree. The streaming front (src/stream/)
+  // emits results for nodes whose subtrees have closed while later siblings
+  // are still being parsed — these let it read labels/texts/structure without
+  // finalizing the builder.
+  NodeId parent(NodeId n) const { return At(tree_.own_parent_, n); }
+  NodeId first_child(NodeId n) const { return At(tree_.own_first_child_, n); }
+  NodeId last_child(NodeId n) const { return At(tree_.own_last_child_, n); }
+  NodeId prev_sibling(NodeId n) const { return At(tree_.own_prev_sibling_, n); }
+  NodeId next_sibling(NodeId n) const { return At(tree_.own_next_sibling_, n); }
+  const std::string& label_name(NodeId n) const {
+    return tree_.labels_.Name(At(tree_.own_label_, n));
+  }
+  std::string_view text(NodeId n) const {
+    if (static_cast<size_t>(n) < tree_.texts_.size()) return tree_.texts_[n];
+    return {};
+  }
+
   /// Finalizes the tree. The builder must not be reused afterwards.
   Tree Build();
 
  private:
+  int32_t At(const std::vector<int32_t>& col, NodeId n) const {
+    MD_DCHECK(n >= 0 && static_cast<size_t>(n) < col.size());
+    return col[n];
+  }
+
   Tree tree_;
 };
+
+/// A deep copy of the subtree of `t` rooted at `n`, as its own tree (labels
+/// and texts included; the new root is node 0). Nodes are copied in preorder,
+/// so when `t` itself was built in document order, the copy's NodeIds are the
+/// source ids renumbered by preorder rank. `src_of_dst`, when non-null, is
+/// filled with the source NodeId of every destination node (indexed by
+/// destination id) so callers can remap per-node side tables.
+Tree CopySubtree(const Tree& t, NodeId n,
+                 std::vector<NodeId>* src_of_dst = nullptr);
 
 /// Structural + label + text equality (labels compared by name, so trees with
 /// different interners compare correctly).

@@ -4,6 +4,7 @@
 // sequential, cache-free evaluation (and, at the datalog level, to the
 // pre-rewrite reference oracle).
 
+#include <barrier>
 #include <future>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "src/runtime/document_cache.h"
 #include "src/runtime/program_cache.h"
 #include "src/runtime/runtime.h"
+#include "src/store/corpus_store.h"
 #include "src/tmnf/pipeline.h"
 #include "src/tree/generator.h"
 #include "src/tree/serialize.h"
@@ -251,6 +253,58 @@ TEST(DocumentCacheTest, ShardsPartitionTheKeySpace) {
             .ok());
   }
   EXPECT_EQ(cache.stats().hits, 16);
+}
+
+TEST(DocumentCacheTest, StoreHitsNotDoubleCountedUnderRace) {
+  // Regression: store_hits used to be booked inside the rehydration itself,
+  // so two threads missing concurrently on the same content hash both
+  // counted a store hit even though only the insert-race winner's copy is
+  // served. The count must be exactly one per distinct page, no matter how
+  // the races resolve.
+  constexpr int kRounds = 16;
+  const std::string path =
+      std::string(testing::TempDir()) + "/store_hits_race.mdcs";
+  std::vector<std::string> pages;
+  store::CorpusStore::Builder builder;
+  for (int r = 0; r < kRounds; ++r) {
+    pages.push_back(CatalogPage(700 + r, 4 + r % 3));
+    ASSERT_TRUE(builder.AddHtml(pages.back(), "").ok());
+  }
+  ASSERT_TRUE(builder.Save(path).ok());
+  auto store = store::CorpusStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  runtime::DocumentCacheOptions options;
+  options.byte_budget = 64 << 20;
+  options.num_shards = 1;
+  options.tinylfu_admission = false;  // every miss admits: pure LRU
+  options.corpus_store = *store;
+  runtime::DocumentCache cache(options);
+
+  // Both threads released onto the same fresh page at once, every round:
+  // each round is one in-memory miss pair racing to rehydrate + insert.
+  std::barrier<> gate(2);
+  auto worker = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      gate.arrive_and_wait();
+      auto doc = cache.GetOrParse(pages[r], "");
+      ASSERT_TRUE(doc.ok());
+      EXPECT_FALSE((*doc)->has_html());  // served from the store
+    }
+  };
+  std::thread a(worker), b(worker);
+  a.join();
+  b.join();
+
+  auto stats = cache.stats();
+  // Deterministic regardless of race outcome: the loser either serves the
+  // winner's inserted copy (its own rehydration is discarded, uncounted) or
+  // scores an in-memory hit. The buggy accounting reported up to 2x — which
+  // manifests whenever both threads pass the miss check before either
+  // inserts, i.e. reliably on multi-core runners.
+  EXPECT_EQ(stats.store_hits, kRounds);
+  EXPECT_EQ(stats.hits + stats.misses, 2 * kRounds);
+  EXPECT_GE(stats.misses, kRounds);
 }
 
 // ---------------------------------------------------------------------------
