@@ -7,14 +7,21 @@ items_per_second when the benchmark reports it, else from 1/real_time.
 Benchmarks present in only one file are reported but never fail the check
 (renames and new series must not break CI).
 
+A missing baseline FILE is not an error: a newly added suite has no committed
+baseline on its first CI run, so the check warns and passes (exit 0). A
+baseline that exists but cannot be parsed still fails — silent corruption
+must not disable the gate.
+
 Usage:
   bench/check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
 
-Exit codes: 0 ok, 1 regression past threshold, 2 unusable input.
+Exit codes: 0 ok (including missing baseline file), 1 regression past
+threshold, 2 unusable input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -51,6 +58,14 @@ def main():
         help="fail when fresh throughput < (1 - threshold) * baseline",
     )
     args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(
+            f"warning: no baseline at {args.baseline} — first run of a new "
+            "suite, nothing to compare against",
+            file=sys.stderr,
+        )
+        sys.exit(0)
 
     baseline = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)

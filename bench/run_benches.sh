@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and writes BENCH_eval.json, BENCH_runtime.json,
-# BENCH_admission.json, BENCH_store.json and BENCH_stream.json at the repo
-# root
+# BENCH_admission.json, BENCH_store.json, BENCH_stream.json and
+# BENCH_analysis.json at the repo root
 # (google-benchmark's --benchmark_format=json), so the perf trajectory is
 # tracked across PRs.
 #
@@ -22,7 +22,7 @@ if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
-  bench_admission bench_store bench_stream -j"$(nproc)"
+  bench_admission bench_store bench_stream bench_analysis -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -76,3 +76,14 @@ echo "wrote ${REPO_ROOT}/BENCH_store.json"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_stream.json"
+
+# Static-analysis subsystem: lint/canonicalization/equivalence throughput
+# over the wrapper corpus, plus the canonical-key serving uplift A/B.
+"${BUILD_DIR}/bench_analysis" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_analysis.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_analysis.json"

@@ -1,0 +1,241 @@
+// mdl-lint: offline QA for Elog wrappers, built on the static-analysis
+// subsystem (src/analysis). Three subcommands:
+//
+//   mdl_lint lint <wrapper.elog>...     lint each wrapper (dead rules, unsat
+//                                       bodies, duplicates, subsumption,
+//                                       redundant conditions, unused
+//                                       patterns)
+//   mdl_lint equiv <a.elog> <b.elog>    prove two wrapper revisions
+//                                       extraction-equivalent (bounded SAT
+//                                       containment per extraction pattern),
+//                                       or print a counterexample page
+//   mdl_lint key <wrapper.elog>...      print each wrapper's canonical cache
+//                                       key fingerprint
+//
+// Exit codes are stable — CI gates on them:
+//   0  clean / equivalent
+//   1  findings / not equivalent
+//   2  usage, I/O or parse error
+//   3  verdict unknown (conflict budget or Δ builtins block the proof)
+//
+// Options (before the files): --depth=N --branch=N --budget=N tune the
+// bounded containment check (defaults 3 / 3 / 1M conflicts).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/canonical.h"
+#include "src/analysis/containment.h"
+#include "src/elog/lint.h"
+#include "src/elog/to_datalog.h"
+#include "src/tmnf/pipeline.h"
+#include "src/tree/serialize.h"
+#include "src/wrapper/wrapper.h"
+
+namespace {
+
+using namespace mdatalog;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitError = 2;
+constexpr int kExitUnknown = 3;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+util::Result<wrapper::Wrapper> LoadWrapper(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    return util::Status::InvalidArgument("cannot read " + path);
+  }
+  return wrapper::ParseWrapperText(text);
+}
+
+int RunLint(const std::vector<std::string>& files) {
+  bool any_findings = false;
+  for (const std::string& path : files) {
+    auto w = LoadWrapper(path);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   w.status().message().c_str());
+      return kExitError;
+    }
+    auto report = elog::LintWrapper(w->program, w->extraction_patterns);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   report.status().message().c_str());
+      return kExitError;
+    }
+    if (report->clean()) {
+      std::printf("%s: clean (%d rules%s)\n", path.c_str(),
+                  report->rules_analyzed,
+                  report->delta_builtins ? ", Δ builtins: syntactic checks only"
+                                         : "");
+      continue;
+    }
+    any_findings = true;
+    std::printf("%s: %zu finding(s)\n", path.c_str(),
+                report->findings.size());
+    std::string text = report->ToText();
+    // Indent each line under the file header.
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      std::printf("  %s\n", text.substr(pos, eol - pos).c_str());
+      pos = eol + 1;
+    }
+  }
+  return any_findings ? kExitFindings : kExitClean;
+}
+
+int RunEquiv(const std::string& path_a, const std::string& path_b,
+             const analysis::ContainmentOptions& options) {
+  auto wa = LoadWrapper(path_a);
+  auto wb = LoadWrapper(path_b);
+  for (const auto* w : {&wa, &wb}) {
+    if (!w->ok()) {
+      std::fprintf(stderr, "error: %s\n", w->status().message().c_str());
+      return kExitError;
+    }
+  }
+  if (wa->extraction_patterns != wb->extraction_patterns) {
+    std::printf("NOT EQUIVALENT: extraction pattern lists differ\n");
+    return kExitFindings;
+  }
+  if (wa->program.UsesDeltaBuiltins() || wb->program.UsesDeltaBuiltins()) {
+    if (elog::ToString(wa->program) == elog::ToString(wb->program)) {
+      std::printf("EQUIVALENT (textually identical Δ wrappers)\n");
+      return kExitClean;
+    }
+    std::printf(
+        "UNKNOWN: Δ builtins are beyond monadic datalog (Theorem 6.6); no "
+        "equivalence procedure\n");
+    return kExitUnknown;
+  }
+
+  bool unknown = false;
+  for (const std::string& pattern : wa->extraction_patterns) {
+    if (pattern == "root") continue;  // the root extent is always {root}
+    auto da = elog::ElogToDatalog(wa->program, pattern);
+    auto db = elog::ElogToDatalog(wb->program, pattern);
+    for (const auto* d : {&da, &db}) {
+      if (!d->ok()) {
+        std::fprintf(stderr, "error: %s\n", d->status().message().c_str());
+        return kExitError;
+      }
+    }
+    auto ta = tmnf::ToTmnf(*da);
+    auto tb = tmnf::ToTmnf(*db);
+    for (const auto* t : {&ta, &tb}) {
+      if (!t->ok()) {
+        std::fprintf(stderr, "error: %s\n", t->status().message().c_str());
+        return kExitError;
+      }
+    }
+    auto eq = analysis::Equivalent(*ta, *tb, options);
+    if (!eq.ok()) {
+      std::fprintf(stderr, "error: %s\n", eq.status().message().c_str());
+      return kExitError;
+    }
+    if (eq->verdict == analysis::Verdict::kNotContained) {
+      const analysis::ContainmentResult& dir =
+          eq->forward.verdict == analysis::Verdict::kNotContained
+              ? eq->forward
+              : eq->backward;
+      std::printf("NOT EQUIVALENT: pattern '%s' differs (%s extracts a node "
+                  "the other does not)\n",
+                  pattern.c_str(),
+                  eq->forward.verdict == analysis::Verdict::kNotContained
+                      ? path_a.c_str()
+                      : path_b.c_str());
+      if (dir.witness_tree.has_value()) {
+        std::printf("counterexample page (witness node %d, depth %d):\n%s",
+                    dir.witness_node, dir.witness_depth,
+                    tree::ToXml(*dir.witness_tree).c_str());
+      }
+      return kExitFindings;
+    }
+    if (eq->verdict != analysis::Verdict::kContained) unknown = true;
+  }
+  if (unknown) {
+    std::printf("UNKNOWN: conflict budget exhausted before a verdict\n");
+    return kExitUnknown;
+  }
+  std::printf(
+      "EQUIVALENT on every extraction pattern (trees up to depth %d, "
+      "branching %d)\n",
+      options.max_depth, options.max_branch);
+  return kExitClean;
+}
+
+int RunKey(const std::vector<std::string>& files) {
+  for (const std::string& path : files) {
+    auto w = LoadWrapper(path);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   w.status().message().c_str());
+      return kExitError;
+    }
+    auto key = analysis::CanonicalWrapperKey(w->program,
+                                             w->extraction_patterns);
+    if (!key.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   key.status().message().c_str());
+      return kExitError;
+    }
+    std::printf("%s: %016llx%s\n", path.c_str(),
+                static_cast<unsigned long long>(key->fingerprint),
+                key->canonicalized ? "" : " (Δ: syntactic key)");
+  }
+  return kExitClean;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mdl_lint [--depth=N] [--branch=N] [--budget=N] "
+               "<command> ...\n"
+               "  lint <wrapper.elog>...\n"
+               "  equiv <a.elog> <b.elog>\n"
+               "  key <wrapper.elog>...\n");
+  return kExitError;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  analysis::ContainmentOptions options;
+  int arg = 1;
+  for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
+    if (std::sscanf(argv[arg], "--depth=%d", &options.max_depth) == 1) continue;
+    if (std::sscanf(argv[arg], "--branch=%d", &options.max_branch) == 1) {
+      continue;
+    }
+    long long budget;
+    if (std::sscanf(argv[arg], "--budget=%lld", &budget) == 1) {
+      options.max_conflicts = budget;
+      continue;
+    }
+    return Usage();
+  }
+  if (arg >= argc) return Usage();
+  const std::string command = argv[arg++];
+  std::vector<std::string> files(argv + arg, argv + argc);
+
+  if (command == "lint" && !files.empty()) return RunLint(files);
+  if (command == "equiv" && files.size() == 2) {
+    return RunEquiv(files[0], files[1], options);
+  }
+  if (command == "key" && !files.empty()) return RunKey(files);
+  return Usage();
+}

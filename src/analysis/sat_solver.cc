@@ -1,0 +1,427 @@
+#include "src/analysis/sat_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace mdatalog::analysis {
+
+namespace {
+
+/// Luby restart sequence (unit = conflicts): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+int64_t Luby(int64_t i) {
+  int64_t k = 1;
+  while ((int64_t{1} << k) - 1 < i + 1) ++k;
+  while ((int64_t{1} << k) - 1 != i + 1) {
+    i -= (int64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((int64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return int64_t{1} << (k - 1);
+}
+
+constexpr double kActivityDecay = 1.0 / 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr int64_t kRestartUnit = 128;
+
+}  // namespace
+
+SatSolver::SatSolver() {
+  // Var 0 is unused (literals are 1-based); keep the per-var arrays aligned.
+  assigns_.push_back(kUndef);
+  phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+}
+
+Lit SatSolver::NewVar() {
+  ++num_vars_;
+  assigns_.push_back(kUndef);
+  phase_.push_back(0);  // default polarity false: prefers small trees
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  HeapInsert(num_vars_);
+  return num_vars_;
+}
+
+void SatSolver::WatchClause(int32_t ci) {
+  const std::vector<Lit>& c = clauses_[ci];
+  MD_DCHECK(c.size() >= 2);
+  watches_[Index(c[0])].push_back({ci, c[1]});
+  watches_[Index(c[1])].push_back({ci, c[0]});
+}
+
+void SatSolver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return;
+  MD_CHECK(trail_lim_.empty());  // clauses are added at decision level 0
+  // Simplify: sort, merge duplicates, drop tautologies and false-at-0
+  // literals, succeed on true-at-0 literals.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return std::abs(a) != std::abs(b)
+                                          ? std::abs(a) < std::abs(b)
+                                          : a < b; });
+  std::vector<Lit> c;
+  c.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    Lit l = lits[i];
+    MD_DCHECK(l != 0 && std::abs(l) <= num_vars_);
+    if (!c.empty() && c.back() == l) continue;       // duplicate
+    if (!c.empty() && c.back() == -l) return;        // tautology
+    int8_t v = ValueOf(l);
+    if (v == kTrue) return;                          // already satisfied
+    if (v == kFalse) continue;                       // cannot help
+    c.push_back(l);
+  }
+  if (c.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (c.size() == 1) {
+    Enqueue(c[0], -1);
+    if (Propagate() != -1) ok_ = false;
+    return;
+  }
+  clauses_.push_back(std::move(c));
+  WatchClause(static_cast<int32_t>(clauses_.size()) - 1);
+}
+
+void SatSolver::Enqueue(Lit l, int32_t reason) {
+  int32_t v = std::abs(l);
+  MD_DCHECK(assigns_[v] == kUndef);
+  assigns_[v] = l > 0 ? kTrue : kFalse;
+  phase_[v] = assigns_[v];
+  level_[v] = static_cast<int32_t>(trail_lim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+int32_t SatSolver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_propagations_;
+    // Clauses watching ¬p must find a new watch or propagate/conflict.
+    std::vector<Watcher>& ws = watches_[Index(-p)];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      Watcher w = ws[i];
+      if (ValueOf(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      std::vector<Lit>& c = clauses_[w.clause];
+      // Normalize so c[0] is the other watch.
+      if (c[0] == -p) std::swap(c[0], c[1]);
+      MD_DCHECK(c[1] == -p);
+      if (ValueOf(c[0]) == kTrue) {
+        ws[keep++] = {w.clause, c[0]};
+        continue;
+      }
+      bool moved = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (ValueOf(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[Index(c[1])].push_back({w.clause, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watcher migrated, drop from this list
+      // Unit or conflicting.
+      ws[keep++] = {w.clause, c[0]};
+      if (ValueOf(c[0]) == kFalse) {
+        // Conflict: restore untraversed watchers and report.
+        for (size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return w.clause;
+      }
+      Enqueue(c[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::BumpVar(int32_t var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > kActivityRescale) {
+    for (int32_t v = 1; v <= num_vars_; ++v) activity_[v] /= kActivityRescale;
+    var_inc_ /= kActivityRescale;
+  }
+  if (heap_pos_[var] >= 0) HeapSiftUp(heap_pos_[var]);
+}
+
+void SatSolver::DecayActivities() { var_inc_ *= kActivityDecay; }
+
+void SatSolver::Analyze(int32_t confl, std::vector<Lit>* learned,
+                        int32_t* bt_level) {
+  // First-UIP scheme: walk the trail backwards resolving antecedents until
+  // exactly one literal of the current decision level remains.
+  learned->clear();
+  learned->push_back(0);  // slot for the asserting literal
+  int32_t counter = 0;
+  Lit p = 0;
+  size_t trail_idx = trail_.size();
+  int32_t cur_level = static_cast<int32_t>(trail_lim_.size());
+
+  int32_t reason = confl;
+  do {
+    MD_DCHECK(reason != -1);
+    const std::vector<Lit>& c = clauses_[reason];
+    for (size_t i = (p == 0 ? 0 : 1); i < c.size(); ++i) {
+      Lit q = c[i];
+      if (p != 0 && q == p) continue;
+      int32_t v = std::abs(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      BumpVar(v);
+      if (level_[v] >= cur_level) {
+        ++counter;
+      } else {
+        learned->push_back(q);
+      }
+    }
+    // Next literal of the current level on the trail.
+    while (!seen_[std::abs(trail_[--trail_idx])]) {
+    }
+    p = trail_[trail_idx];
+    seen_[std::abs(p)] = 0;
+    reason = reason_[std::abs(p)];
+    --counter;
+    if (counter > 0) {
+      // `p`'s antecedent clauses store p first; skip index 0 next round.
+      std::vector<Lit>& rc = clauses_[reason];
+      if (rc[0] != p) {
+        auto it = std::find(rc.begin(), rc.end(), p);
+        MD_DCHECK(it != rc.end());
+        std::swap(rc[0], *it);
+      }
+    }
+  } while (counter > 0);
+  (*learned)[0] = -p;
+
+  // Backtrack level: the highest level among the non-asserting literals.
+  *bt_level = 0;
+  size_t max_i = 1;
+  for (size_t i = 1; i < learned->size(); ++i) {
+    int32_t lv = level_[std::abs((*learned)[i])];
+    if (lv > *bt_level) {
+      *bt_level = lv;
+      max_i = i;
+    }
+  }
+  if (learned->size() > 1) std::swap((*learned)[1], (*learned)[max_i]);
+  for (Lit l : *learned) seen_[std::abs(l)] = 0;
+}
+
+void SatSolver::CancelUntil(int32_t target_level) {
+  if (static_cast<int32_t>(trail_lim_.size()) <= target_level) return;
+  size_t bound = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i > bound; --i) {
+    int32_t v = std::abs(trail_[i - 1]);
+    assigns_[v] = kUndef;
+    reason_[v] = -1;
+    if (heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = bound;
+}
+
+// --- activity heap ----------------------------------------------------------
+
+void SatSolver::HeapInsert(int32_t var) {
+  heap_pos_[var] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(var);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void SatSolver::HeapSiftUp(size_t i) {
+  int32_t var = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<int32_t>(i);
+}
+
+void SatSolver::HeapSiftDown(size_t i) {
+  int32_t var = heap_[i];
+  size_t n = heap_.size();
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[var] >= activity_[heap_[child]]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = static_cast<int32_t>(i);
+}
+
+int32_t SatSolver::HeapPop() {
+  int32_t top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    HeapSiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+Lit SatSolver::PickBranchLit() {
+  while (!heap_.empty()) {
+    int32_t v = heap_[0];
+    if (assigns_[v] == kUndef) {
+      HeapPop();
+      return phase_[v] == kTrue ? v : -v;
+    }
+    HeapPop();
+  }
+  return 0;
+}
+
+SatSolver::Outcome SatSolver::Solve(const std::vector<Lit>& assumptions,
+                                    int64_t max_conflicts) {
+  if (!ok_) return Outcome::kUnsat;
+  MD_CHECK(trail_lim_.empty());
+  if (Propagate() != -1) {
+    ok_ = false;
+    return Outcome::kUnsat;
+  }
+
+  const int64_t conflict_budget =
+      max_conflicts < 0 ? -1 : stats_conflicts_ + max_conflicts;
+  int64_t restart_round = 0;
+  int64_t restart_budget = Luby(restart_round) * kRestartUnit;
+  int64_t restart_conflicts = 0;
+  std::vector<Lit> learned;
+  Outcome outcome = Outcome::kUnknown;
+
+  for (;;) {
+    int32_t confl = Propagate();
+    if (confl != -1) {
+      ++stats_conflicts_;
+      ++restart_conflicts;
+      if (trail_lim_.empty()) {
+        // Conflict at level 0: only forced literals are on the trail, so the
+        // clause set itself is unsatisfiable independent of any assumptions.
+        // The solver must go terminally UNSAT here even under assumptions —
+        // Propagate() already advanced qhead_ past the unprocessed level-0
+        // enqueues, so carrying on would silently drop their consequences in
+        // every later Solve() call.
+        ok_ = false;
+        outcome = Outcome::kUnsat;
+        break;
+      }
+      if (static_cast<int32_t>(trail_lim_.size()) <=
+          static_cast<int32_t>(assumptions.size())) {
+        // Conflict within the assumption prefix: UNSAT under these
+        // assumptions only.
+        outcome = Outcome::kUnsat;
+        break;
+      }
+      int32_t bt_level;
+      Analyze(confl, &learned, &bt_level);
+      // Backtracking below the assumption prefix is fine: the decision loop
+      // re-pushes assumptions whenever fewer are on the trail. Unit learned
+      // clauses (bt_level 0) must take the Enqueue path — WatchClause needs
+      // two literals.
+      CancelUntil(bt_level);
+      if (learned.size() == 1 && bt_level == 0) {
+        Enqueue(learned[0], -1);
+      } else {
+        clauses_.push_back(learned);
+        int32_t ci = static_cast<int32_t>(clauses_.size()) - 1;
+        WatchClause(ci);
+        if (ValueOf(learned[0]) == kUndef) Enqueue(learned[0], ci);
+      }
+      DecayActivities();
+      if (conflict_budget >= 0 && stats_conflicts_ >= conflict_budget) {
+        outcome = Outcome::kUnknown;
+        break;
+      }
+      if (restart_conflicts >= restart_budget) {
+        CancelUntil(static_cast<int32_t>(assumptions.size()));
+        ++restart_round;
+        restart_budget = Luby(restart_round) * kRestartUnit;
+        restart_conflicts = 0;
+      }
+      continue;
+    }
+
+    // Assumption decisions first, then activity-guided search.
+    if (trail_lim_.size() < assumptions.size()) {
+      Lit a = assumptions[trail_lim_.size()];
+      int8_t v = ValueOf(a);
+      if (v == kFalse) {
+        outcome = Outcome::kUnsat;
+        break;
+      }
+      trail_lim_.push_back(static_cast<int32_t>(trail_.size()));
+      if (v == kUndef) Enqueue(a, -1);
+      continue;
+    }
+    Lit next = PickBranchLit();
+    if (next == 0) {
+      model_ = assigns_;
+      if (std::getenv("MD_SAT_CHECK_MODEL") != nullptr) {
+        // Paranoia hook for tests: every clause (original and learned) must
+        // be satisfied by the model.
+        for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+          bool sat_c = false;
+          for (Lit l : clauses_[ci]) sat_c |= ModelValue(l);
+          if (!sat_c) {
+            std::fprintf(stderr, "SatSolver: invalid model, clause %zu:", ci);
+            for (Lit l : clauses_[ci]) std::fprintf(stderr, " %d", l);
+            std::fprintf(stderr, "\n");
+            MD_CHECK(false);
+          }
+        }
+      }
+      outcome = Outcome::kSat;
+      break;
+    }
+    ++stats_decisions_;
+    trail_lim_.push_back(static_cast<int32_t>(trail_.size()));
+    Enqueue(next, -1);
+  }
+
+  CancelUntil(0);
+  return outcome;
+}
+
+bool SatSolver::ModelValue(Lit lit) const {
+  int32_t v = std::abs(lit);
+  MD_CHECK(v >= 1 && static_cast<size_t>(v) < model_.size());
+  int8_t a = model_[v];
+  // Unassigned never escapes Solve(kSat); treat defensively as false.
+  bool val = a == kTrue;
+  return lit > 0 ? val : !val;
+}
+
+}  // namespace mdatalog::analysis

@@ -82,6 +82,68 @@ Rule MakeRule(Atom head, std::vector<Atom> body,
   return r;
 }
 
+std::vector<std::vector<int32_t>> RulesByHeadPred(const Program& program) {
+  std::vector<std::vector<int32_t>> by_head(program.preds().size());
+  const auto& rules = program.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    by_head[rules[i].head.pred].push_back(static_cast<int32_t>(i));
+  }
+  return by_head;
+}
+
+std::vector<bool> ReachablePreds(const Program& program,
+                                 const std::vector<PredId>& roots) {
+  std::vector<bool> reachable(program.preds().size(), false);
+  std::vector<PredId> stack;
+  for (PredId p : roots) {
+    if (p >= 0 && static_cast<size_t>(p) < reachable.size() && !reachable[p]) {
+      reachable[p] = true;
+      stack.push_back(p);
+    }
+  }
+  auto by_head = RulesByHeadPred(program);
+  while (!stack.empty()) {
+    PredId p = stack.back();
+    stack.pop_back();
+    for (int32_t ri : by_head[p]) {
+      for (const Atom& a : program.rules()[ri].body) {
+        if (!reachable[a.pred]) {
+          reachable[a.pred] = true;
+          stack.push_back(a.pred);
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+std::vector<bool> DerivablePreds(const Program& program) {
+  std::vector<bool> intensional = program.IntensionalMask();
+  std::vector<bool> derivable(program.preds().size(), false);
+  for (size_t p = 0; p < derivable.size(); ++p) {
+    derivable[p] = !intensional[p];  // EDB: may hold facts
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (derivable[r.head.pred]) continue;
+      bool body_ok = true;
+      for (const Atom& a : r.body) {
+        if (!derivable[a.pred]) {
+          body_ok = false;
+          break;
+        }
+      }
+      if (body_ok) {
+        derivable[r.head.pred] = true;
+        changed = true;
+      }
+    }
+  }
+  return derivable;
+}
+
 std::string ToString(const Program& program, const Rule& rule,
                      const Atom& atom) {
   std::string out = program.preds().Name(atom.pred);

@@ -124,6 +124,31 @@ Rule MakeRule(Atom head, std::vector<Atom> body);
 Rule MakeRule(Atom head, std::vector<Atom> body,
               std::vector<std::string> var_names);
 
+// --- program introspection --------------------------------------------------
+//
+// Structural views the static-analysis subsystem (src/analysis/) and the
+// canonical cache keying build on. All are O(|P|) and allocate fresh vectors;
+// they take the program by const reference and never mutate it.
+
+/// Rule indices grouped by head predicate: result[p] lists the indices (into
+/// program.rules()) of the rules whose head predicate is p. Predicates with
+/// no rules get an empty list.
+std::vector<std::vector<int32_t>> RulesByHeadPred(const Program& program);
+
+/// Predicates reachable from `roots` through the head → body dependency
+/// edges (rule with head p mentions q in its body ⇒ p depends on q).
+/// result[p] == true iff p is a root or some reachable rule body mentions p.
+/// Out-of-range roots are ignored.
+std::vector<bool> ReachablePreds(const Program& program,
+                                 const std::vector<PredId>& roots);
+
+/// Overapproximation of "may derive at least one fact": every extensional
+/// predicate (no rules) is derivable; an intensional predicate is derivable
+/// iff some rule for it has a body whose predicates are all derivable.
+/// Predicates false here are provably empty on every database — the
+/// unconditionally-sound basis for dead-rule elimination.
+std::vector<bool> DerivablePreds(const Program& program);
+
 // --- pretty printing --------------------------------------------------------
 
 std::string ToString(const Program& program);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/analysis/canonical.h"
 #include "src/elog/to_datalog.h"
 #include "src/runtime/document_cache.h"
 #include "src/tmnf/pipeline.h"
@@ -42,8 +43,8 @@ void TryCompileGroundPlan(CompiledWrapperProgram* out) {
 
 }  // namespace
 
-ProgramCache::ProgramCache(int32_t capacity)
-    : capacity_(std::max(capacity, 1)) {}
+ProgramCache::ProgramCache(int32_t capacity, bool canonical_keys)
+    : capacity_(std::max(capacity, 1)), canonical_keys_(canonical_keys) {}
 
 util::Result<std::shared_ptr<const CompiledWrapperProgram>>
 ProgramCache::GetOrCompile(const wrapper::Wrapper& wrapper) {
@@ -55,20 +56,44 @@ ProgramCache::GetOrCompile(const wrapper::Wrapper& wrapper) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->program;
   }
+
+  // Syntactic miss: fall back to the canonical key, so a reformulated
+  // revision of a cached wrapper reuses its compiled plan.
+  uint64_t canonical_fp = fp;
+  if (canonical_keys_) {
+    auto key = analysis::CanonicalWrapperKey(wrapper.program,
+                                             wrapper.extraction_patterns);
+    if (key.ok()) canonical_fp = key->fingerprint;
+    auto cit = canonical_index_.find(canonical_fp);
+    if (cit != canonical_index_.end()) {
+      ++stats_.hits;
+      ++stats_.canonical_key_hits;
+      if (cit->second->syntactic_fps.size() < kMaxAliases) {
+        cit->second->syntactic_fps.push_back(fp);
+        index_.emplace(fp, cit->second);
+      }
+      lru_.splice(lru_.begin(), lru_, cit->second);
+      return cit->second->program;
+    }
+  }
   ++stats_.misses;
 
   auto compiled = std::make_shared<CompiledWrapperProgram>();
   MD_ASSIGN_OR_RETURN(compiled->prepared,
                       wrapper::PreparedWrapper::Prepare(wrapper));
   compiled->fingerprint = fp;
+  compiled->canonical_fingerprint = canonical_fp;
   TryCompileGroundPlan(compiled.get());
   if (compiled->has_ground_plan) ++stats_.ground_plans;
 
-  lru_.push_front(Entry{fp, compiled});
+  lru_.push_front(Entry{canonical_fp, {fp}, compiled});
   index_.emplace(fp, lru_.begin());
+  canonical_index_.emplace(canonical_fp, lru_.begin());
   ++stats_.entries;
   while (static_cast<int32_t>(lru_.size()) > capacity_) {
-    index_.erase(lru_.back().fingerprint);
+    const Entry& victim = lru_.back();
+    for (uint64_t sfp : victim.syntactic_fps) index_.erase(sfp);
+    canonical_index_.erase(victim.canonical_fp);
     lru_.pop_back();
     ++stats_.evictions;
     --stats_.entries;

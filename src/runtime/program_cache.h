@@ -44,7 +44,13 @@ struct CompiledWrapperProgram {
   /// prepared.extraction_patterns); -1 if the pattern is never derivable.
   std::vector<core::PredId> pattern_preds;
 
+  /// Fingerprint of the wrapper text + pattern list, as registered.
   uint64_t fingerprint = 0;
+  /// Canonical-key fingerprint (analysis::CanonicalWrapperKey): equal for
+  /// every formulation of the same wrapper, so it is the right key for
+  /// result memo entries. Equals `fingerprint` when canonical keying is
+  /// disabled.
+  uint64_t canonical_fingerprint = 0;
 };
 
 struct ProgramCacheStats {
@@ -54,12 +60,19 @@ struct ProgramCacheStats {
   int32_t entries = 0;
   /// Programs whose Corollary 6.4 pipeline compiled (vs native-only).
   int64_t ground_plans = 0;
+  /// Hits resolved through the canonical key: the wrapper text was new but
+  /// canonically identical to a cached program (reformulated revision).
+  /// Counted inside `hits` as well.
+  int64_t canonical_key_hits = 0;
 };
 
-/// LRU cache of compiled wrapper programs, keyed by a fingerprint of the
-/// program text plus the extraction-pattern list. Capacity is entry-count
-/// based: programs are tiny next to documents, the bound only guards against
-/// unbounded churn from generated programs.
+/// LRU cache of compiled wrapper programs, keyed two ways: by a fingerprint
+/// of the program text plus the extraction-pattern list (cheap, exact), and
+/// — on a syntactic miss — by the canonical key (analysis::CanonicalKey
+/// pipeline: minimize, normalize variables, sort rules), so reformulated but
+/// equivalent wrapper revisions share one compiled plan. Capacity is
+/// entry-count based: programs are tiny next to documents, the bound only
+/// guards against unbounded churn from generated programs.
 ///
 /// Thread safety: all public methods are safe to call concurrently. A
 /// compile miss holds the lock — program compilation is rare (once per
@@ -67,26 +80,37 @@ struct ProgramCacheStats {
 /// than it saves.
 class ProgramCache {
  public:
-  explicit ProgramCache(int32_t capacity);
+  /// `canonical_keys` = false keys strictly on the syntactic fingerprint
+  /// (the pre-canonicalization behavior, kept for A/B benchmarking).
+  explicit ProgramCache(int32_t capacity, bool canonical_keys = true);
 
   util::Result<std::shared_ptr<const CompiledWrapperProgram>> GetOrCompile(
       const wrapper::Wrapper& wrapper);
 
   ProgramCacheStats stats() const;
 
-  /// The fingerprint GetOrCompile keys on. Exposed for result-memo keys.
+  /// The syntactic fingerprint GetOrCompile keys on first.
   static uint64_t Fingerprint(const wrapper::Wrapper& wrapper);
 
  private:
+  /// Aliases kept per entry: each new formulation of a cached wrapper adds
+  /// its syntactic fingerprint so repeat registrations skip
+  /// canonicalization. Bounded — formulations beyond the cap still hit via
+  /// the canonical index, they just recompute the canonical key each time.
+  static constexpr size_t kMaxAliases = 8;
+
   struct Entry {
-    uint64_t fingerprint;
+    uint64_t canonical_fp;
+    std::vector<uint64_t> syntactic_fps;  // every formulation seen (capped)
     std::shared_ptr<const CompiledWrapperProgram> program;
   };
 
   const int32_t capacity_;
+  const bool canonical_keys_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> canonical_index_;
   ProgramCacheStats stats_;
 };
 

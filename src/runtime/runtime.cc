@@ -14,7 +14,8 @@ namespace mdatalog::runtime {
 
 WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
     : options_(options),
-      programs_(options.program_cache_capacity),
+      programs_(options.program_cache_capacity,
+                options.canonical_program_keys),
       documents_(DocumentCacheOptions{
           .byte_budget = options.document_cache_bytes,
           .num_shards = options.document_cache_shards,
@@ -70,7 +71,7 @@ util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
   // One content hash per request, shared by the memo key and the document
   // cache key — the page bytes are scanned exactly once.
   const Hash128 content_hash = HashBytes128(html);
-  const MemoKey key{handle.program->fingerprint, content_hash,
+  const MemoKey key{handle.program->canonical_fingerprint, content_hash,
                     handle.project_attr};
   const uint64_t memo_hash = MemoKeyHash64(key);
   if (std::shared_ptr<const std::string> memoized =

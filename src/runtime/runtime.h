@@ -53,6 +53,12 @@ struct RuntimeOptions {
   int32_t document_cache_shards = 8;
   /// Max number of compiled programs kept.
   int32_t program_cache_capacity = 64;
+  /// Key the program cache and the result memo on the canonical wrapper key
+  /// (analysis::CanonicalWrapperKey) as well as the wrapper text:
+  /// reformulated-but-equivalent wrapper revisions then share one compiled
+  /// plan and one set of memoized results. false = syntactic keys only (the
+  /// pre-canonicalization behavior, kept for A/B benchmarking).
+  bool canonical_program_keys = true;
   /// Byte budget for memoized wrap results (wrapping is a pure function of
   /// (program, document), so the memo is exact); 0 disables memoization.
   int64_t result_memo_bytes = 16 << 20;
@@ -174,7 +180,7 @@ class WrapperRuntime {
 
  private:
   struct MemoKey {
-    uint64_t program_fp;
+    uint64_t program_fp;   // canonical fingerprint: equivalent wrappers share
     Hash128 content_hash;  // 128-bit: the page bytes are untrusted input
     std::string attr;
     bool operator==(const MemoKey&) const = default;

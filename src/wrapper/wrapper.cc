@@ -13,6 +13,42 @@ using tree::kNoNode;
 using tree::NodeId;
 using tree::Tree;
 
+util::Result<Wrapper> ParseWrapperText(std::string_view text) {
+  Wrapper w;
+  // Pull out "%! extract: a, b" directive lines before handing the whole
+  // text (directives included — they are comments) to the Elog parser.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t at = line.find_first_not_of(" \t");
+    if (at == std::string_view::npos) continue;
+    line.remove_prefix(at);
+    constexpr std::string_view kDirective = "%! extract:";
+    if (line.substr(0, kDirective.size()) != kDirective) continue;
+    line.remove_prefix(kDirective.size());
+    // Comma-separated pattern names.
+    while (!line.empty()) {
+      size_t comma = line.find(',');
+      std::string_view name = line.substr(0, comma);
+      line.remove_prefix(comma == std::string_view::npos ? line.size()
+                                                         : comma + 1);
+      size_t b = name.find_first_not_of(" \t\r");
+      if (b == std::string_view::npos) continue;
+      size_t e = name.find_last_not_of(" \t\r");
+      w.extraction_patterns.emplace_back(name.substr(b, e - b + 1));
+    }
+  }
+  MD_ASSIGN_OR_RETURN(w.program, elog::ParseElog(text));
+  MD_RETURN_NOT_OK(elog::ValidateElog(w.program));
+  if (w.extraction_patterns.empty()) {
+    w.extraction_patterns = w.program.Patterns();
+  }
+  return w;
+}
+
 util::Result<PreparedWrapper> PreparedWrapper::Prepare(const Wrapper& w) {
   MD_ASSIGN_OR_RETURN(elog::PreparedElogProgram prepared,
                       elog::PreparedElogProgram::Prepare(w.program));

@@ -27,6 +27,17 @@ struct Wrapper {
   std::vector<std::string> extraction_patterns;
 };
 
+/// Parses a wrapper file: an Elog program plus an optional extraction
+/// directive hidden in a comment line
+///
+///     %! extract: item, price
+///
+/// naming the extraction patterns in output order (repeatable; lists
+/// concatenate). Without a directive every defined pattern is an extraction
+/// pattern, in first-definition order. The directive line is a plain Elog
+/// comment, so the file also parses with bare ParseElog.
+util::Result<Wrapper> ParseWrapperText(std::string_view text);
+
 /// A wrapper whose program was validated once (elog::PreparedElogProgram) so
 /// repeated evaluation over a document stream pays no per-page validation.
 /// Immutable after Prepare — safe to share across serving threads.

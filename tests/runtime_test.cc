@@ -382,6 +382,81 @@ TEST(ProgramCacheTest, RejectsInvalidPrograms) {
   EXPECT_FALSE(cache.GetOrCompile(w).ok());
 }
 
+/// CatalogWrapper reformulated: rules permuted, variables renamed, one
+/// duplicate rule added. Extraction-equivalent, so the canonical key must
+/// match CatalogWrapper's exactly.
+wrapper::Wrapper ReformulatedCatalogWrapper() {
+  auto program = elog::ParseElog(R"(
+    price(Q) <- item(I), subelem(I, "td@price", Q).
+    item(N)  <- anynode(A), subelem(A, "tr@item", N).
+    anynode(N) <- anynode(A), subelem(A, "_", N).
+    anynode(R) <- root(R).
+    item(Z)  <- anynode(W), subelem(W, "tr@item", Z).
+  )");
+  EXPECT_TRUE(program.ok());
+  wrapper::Wrapper w;
+  w.program = *program;
+  w.extraction_patterns = {"item", "price"};
+  return w;
+}
+
+TEST(ProgramCacheTest, CanonicalKeySharesReformulatedWrapper) {
+  runtime::ProgramCache cache(8);
+  wrapper::Wrapper w = CatalogWrapper();
+  wrapper::Wrapper re = ReformulatedCatalogWrapper();
+  auto a = cache.GetOrCompile(w);
+  ASSERT_TRUE(a.ok());
+  // New text, same canonical key: the compiled plan is shared, not rebuilt.
+  auto b = cache.GetOrCompile(re);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().canonical_key_hits, 1);
+  EXPECT_EQ(cache.stats().entries, 1);
+  // The reformulation is now aliased: repeat lookups hit on the cheap
+  // syntactic fingerprint without recomputing the canonical key.
+  auto c = cache.GetOrCompile(re);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->get(), c->get());
+  EXPECT_EQ(cache.stats().hits, 2);
+  EXPECT_EQ(cache.stats().canonical_key_hits, 1);
+  // Both formulations memo-key on one canonical fingerprint.
+  EXPECT_EQ((*a)->canonical_fingerprint, (*b)->canonical_fingerprint);
+}
+
+TEST(ProgramCacheTest, CanonicalKeysOffKeepsFormulationsSeparate) {
+  runtime::ProgramCache cache(8, /*canonical_keys=*/false);
+  auto a = cache.GetOrCompile(CatalogWrapper());
+  auto b = cache.GetOrCompile(ReformulatedCatalogWrapper());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().canonical_key_hits, 0);
+  // Syntactic keys double as canonical ones, so the memo keys differ too.
+  EXPECT_NE((*a)->canonical_fingerprint, (*b)->canonical_fingerprint);
+}
+
+TEST(ProgramCacheTest, CanonicalEntryEvictsAllAliases) {
+  runtime::ProgramCache cache(2);
+  wrapper::Wrapper w = CatalogWrapper();
+  ASSERT_TRUE(cache.GetOrCompile(w).ok());
+  ASSERT_TRUE(cache.GetOrCompile(ReformulatedCatalogWrapper()).ok());  // alias
+  wrapper::Wrapper w2 = CatalogWrapper();
+  w2.extraction_patterns = {"item"};
+  wrapper::Wrapper w3 = CatalogWrapper();
+  w3.extraction_patterns = {"price"};
+  ASSERT_TRUE(cache.GetOrCompile(w2).ok());
+  ASSERT_TRUE(cache.GetOrCompile(w3).ok());  // evicts the catalog entry
+  EXPECT_EQ(cache.stats().entries, 2);
+  // Both the original and the alias must miss now — no dangling index
+  // entries pointing at the evicted program.
+  ASSERT_TRUE(cache.GetOrCompile(w).ok());
+  ASSERT_TRUE(cache.GetOrCompile(ReformulatedCatalogWrapper()).ok());
+  EXPECT_EQ(cache.stats().canonical_key_hits, 2);  // re-merged after recompile
+}
+
 // ---------------------------------------------------------------------------
 // GroundPlan replay + arena reuse (core-level): byte-identical to the
 // one-shot grounded engine and to the pre-rewrite reference oracle.
@@ -537,6 +612,40 @@ TEST(WrapperRuntimeTest, MemoServesIdenticalBytesAndCounts) {
   auto stats = rt.stats();
   EXPECT_EQ(stats.memo_hits, 1);
   EXPECT_EQ(stats.pages_wrapped, 1);  // second request never re-evaluated
+}
+
+TEST(WrapperRuntimeTest, EquivalentWrapperRevisionsShareMemoizedResults) {
+  runtime::WrapperRuntime rt;
+  auto h1 = rt.Register(CatalogWrapper(), "class");
+  auto h2 = rt.Register(ReformulatedCatalogWrapper(), "class");
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  std::string page = CatalogPage(11, 10);
+  auto first = rt.Wrap(*h1, page);
+  auto second = rt.Wrap(*h2, page);  // revision: same canonical key
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  auto stats = rt.stats();
+  EXPECT_EQ(stats.program_cache.canonical_key_hits, 1);
+  EXPECT_EQ(stats.memo_hits, 1);      // the revision was served from memo
+  EXPECT_EQ(stats.pages_wrapped, 1);  // never re-evaluated
+
+  // A/B control: with canonical keys off, the revision compiles and
+  // evaluates separately (the pre-canonicalization behavior).
+  runtime::RuntimeOptions opts;
+  opts.canonical_program_keys = false;
+  runtime::WrapperRuntime rt_ab(opts);
+  auto g1 = rt_ab.Register(CatalogWrapper(), "class");
+  auto g2 = rt_ab.Register(ReformulatedCatalogWrapper(), "class");
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_TRUE(rt_ab.Wrap(*g1, page).ok());
+  ASSERT_TRUE(rt_ab.Wrap(*g2, page).ok());
+  auto ab = rt_ab.stats();
+  EXPECT_EQ(ab.program_cache.canonical_key_hits, 0);
+  EXPECT_EQ(ab.memo_hits, 0);
+  EXPECT_EQ(ab.pages_wrapped, 2);
 }
 
 // ---------------------------------------------------------------------------
