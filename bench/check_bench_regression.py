@@ -12,27 +12,47 @@ baseline on its first CI run, so the check warns and passes (exit 0). A
 baseline that exists but cannot be parsed still fails — silent corruption
 must not disable the gate.
 
+Overhead pairs (--overhead-pair "BASE,TEST"): an intra-file A/B gate that
+needs no baseline — TEST's throughput in the FRESH file must be within
+--overhead-threshold (default 3%) of BASE's. This is how the telemetry
+overhead bar is enforced: BM_WrapTelemetry/telemetry:1 must stay within 3%
+of BM_WrapTelemetry/telemetry:0 in BENCH_telemetry.json. Runs even when the
+baseline file is missing.
+
+Latency fields: per-benchmark counters matching p<digits>_* (p50_ns,
+p99_ns, …) are compared against the baseline and surfaced as NON-BLOCKING
+warnings when they moved past the threshold — request-latency quantiles on
+shared runners are too jittery to gate merges, but a drift should be
+visible in the CI log.
+
 Usage:
   bench/check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.25]
+      [--overhead-pair BASE,TEST]... [--overhead-threshold 0.03]
 
 Exit codes: 0 ok (including missing baseline file), 1 regression past
-threshold, 2 unusable input.
+threshold or overhead pair past its threshold, 2 unusable input.
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 
+LATENCY_FIELD_RE = re.compile(r"^p\d+(_|$)")
 
-def load_benchmarks(path):
-    """name -> throughput (higher is better), aggregates skipped."""
+
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_benchmarks(doc):
+    """name -> throughput (higher is better), aggregates skipped."""
     out = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
@@ -47,6 +67,75 @@ def load_benchmarks(path):
     return out
 
 
+def load_latency_fields(doc):
+    """name -> {field: value} for p50/p99-style counters (lower is better)."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if not name:
+            continue
+        fields = {
+            k: float(v)
+            for k, v in bench.items()
+            if LATENCY_FIELD_RE.match(k) and isinstance(v, (int, float))
+        }
+        if fields:
+            out[name] = fields
+    return out
+
+
+def check_overhead_pairs(fresh, pairs, threshold):
+    """Intra-file A/B: TEST must be within `threshold` of BASE. Returns the
+    list of failures; missing names are a hard error (a renamed benchmark
+    must not silently disable the gate)."""
+    failures = []
+    for pair in pairs:
+        base_name, _, test_name = pair.partition(",")
+        base_name, test_name = base_name.strip(), test_name.strip()
+        if not base_name or not test_name:
+            print(f"error: malformed --overhead-pair {pair!r}", file=sys.stderr)
+            sys.exit(2)
+        if base_name not in fresh or test_name not in fresh:
+            missing = [n for n in (base_name, test_name) if n not in fresh]
+            print(
+                f"error: overhead pair names {missing} not in fresh results",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        base, test = fresh[base_name], fresh[test_name]
+        overhead = (base - test) / base if base > 0 else 0.0
+        marker = ""
+        if overhead > threshold:
+            marker = "  <-- OVER BUDGET"
+            failures.append((test_name, overhead))
+        print(
+            f"overhead {test_name} vs {base_name}: "
+            f"{base:.1f} -> {test:.1f} ({overhead:+.1%} of budget "
+            f"{threshold:.0%}){marker}"
+        )
+    return failures
+
+
+def warn_latency_drift(baseline_doc, fresh_doc, threshold):
+    """Prints non-blocking warnings for p50/p99 movements past threshold."""
+    base_lat = load_latency_fields(baseline_doc)
+    fresh_lat = load_latency_fields(fresh_doc)
+    for name in sorted(set(base_lat) & set(fresh_lat)):
+        for field in sorted(set(base_lat[name]) & set(fresh_lat[name])):
+            old, new = base_lat[name][field], fresh_lat[name][field]
+            if old <= 0:
+                continue
+            delta = (new - old) / old
+            if abs(delta) > threshold:
+                direction = "regressed" if delta > 0 else "improved"
+                print(
+                    f"warning: {name} {field} {direction} "
+                    f"{old:.0f} -> {new:.0f} ({delta:+.1%}) — non-blocking"
+                )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -57,7 +146,33 @@ def main():
         default=0.25,
         help="fail when fresh throughput < (1 - threshold) * baseline",
     )
+    parser.add_argument(
+        "--overhead-pair",
+        action="append",
+        default=[],
+        metavar="BASE,TEST",
+        help="intra-file gate: TEST must be within --overhead-threshold of "
+        "BASE in the FRESH file (repeatable)",
+    )
+    parser.add_argument(
+        "--overhead-threshold",
+        type=float,
+        default=0.03,
+        help="budget for --overhead-pair checks (default 3%%)",
+    )
     args = parser.parse_args()
+
+    fresh_doc = load_doc(args.fresh)
+    fresh = load_benchmarks(fresh_doc)
+    if not fresh:
+        print("error: no comparable benchmarks found", file=sys.stderr)
+        sys.exit(2)
+
+    # The overhead pairs gate on the fresh file alone — they run (and can
+    # fail) even on the first run of a new suite.
+    overhead_failures = check_overhead_pairs(
+        fresh, args.overhead_pair, args.overhead_threshold
+    )
 
     if not os.path.exists(args.baseline):
         print(
@@ -65,11 +180,11 @@ def main():
             "suite, nothing to compare against",
             file=sys.stderr,
         )
-        sys.exit(0)
+        sys.exit(1 if overhead_failures else 0)
 
-    baseline = load_benchmarks(args.baseline)
-    fresh = load_benchmarks(args.fresh)
-    if not baseline or not fresh:
+    baseline_doc = load_doc(args.baseline)
+    baseline = load_benchmarks(baseline_doc)
+    if not baseline:
         print("error: no comparable benchmarks found", file=sys.stderr)
         sys.exit(2)
 
@@ -91,6 +206,8 @@ def main():
             regressions.append((name, delta))
         print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {delta:+7.1%}{marker}")
 
+    warn_latency_drift(baseline_doc, fresh_doc, args.threshold)
+
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
@@ -99,6 +216,15 @@ def main():
         )
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        sys.exit(1)
+    if overhead_failures:
+        print(
+            f"\nFAIL: {len(overhead_failures)} overhead pair(s) past "
+            f"{args.overhead_threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, overhead in overhead_failures:
+            print(f"  {name}: {overhead:+.1%}", file=sys.stderr)
         sys.exit(1)
     print(f"\nOK: no regression past {args.threshold:.0%}")
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and writes BENCH_eval.json, BENCH_runtime.json,
-# BENCH_admission.json, BENCH_store.json, BENCH_stream.json and
-# BENCH_analysis.json at the repo root
+# BENCH_admission.json, BENCH_store.json, BENCH_stream.json,
+# BENCH_analysis.json and BENCH_telemetry.json at the repo root
 # (google-benchmark's --benchmark_format=json), so the perf trajectory is
 # tracked across PRs.
 #
@@ -22,7 +22,8 @@ if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
-  bench_admission bench_store bench_stream bench_analysis -j"$(nproc)"
+  bench_admission bench_store bench_stream bench_analysis bench_telemetry \
+  -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -87,3 +88,15 @@ echo "wrote ${REPO_ROOT}/BENCH_stream.json"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_analysis.json"
+
+# Telemetry overhead A/B: the fully-traced serving loop vs telemetry
+# disabled. CI gates the pair — enabled must stay within 3% of disabled
+# (check_bench_regression.py --overhead-pair).
+"${BUILD_DIR}/bench_telemetry" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_telemetry.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_telemetry.json"

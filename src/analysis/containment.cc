@@ -8,6 +8,7 @@
 #include "src/analysis/tmnf_view.h"
 #include "src/core/database.h"
 #include "src/core/eval.h"
+#include "src/telemetry/trace.h"
 #include "src/util/check.h"
 
 namespace mdatalog::analysis {
@@ -438,7 +439,17 @@ util::Result<ContainmentResult> Contains(const core::Program& p,
       if (tmpl[n].depth > d) assumptions.push_back(-enc.e(static_cast<int32_t>(n)));
     }
     const int64_t before = sat.conflicts();
-    SatSolver::Outcome outcome = sat.Solve(assumptions, budget);
+    const int64_t decisions_before = sat.decisions();
+    SatSolver::Outcome outcome;
+    {
+      telemetry::TraceSpan span(telemetry::CurrentTrace(), "sat.solve");
+      outcome = sat.Solve(assumptions, budget);
+      if (span) {
+        span.Value("depth", d);
+        span.Value("conflicts", sat.conflicts() - before);
+        span.Value("decisions", sat.decisions() - decisions_before);
+      }
+    }
     if (budget >= 0) budget = std::max<int64_t>(0, budget - (sat.conflicts() - before));
     if (outcome == SatSolver::Outcome::kUnknown ||
         (outcome != SatSolver::Outcome::kSat && budget == 0 && d < depth)) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/telemetry/trace.h"
 #include "src/util/check.h"
 
 namespace mdatalog::core {
@@ -161,6 +162,23 @@ const Relation* TreeDatabase::Materialize(const std::string& name,
   using tree::kNoNode;
   using tree::NodeId;
   const tree::Tree& t = tree_;
+  // Span tags must be static strings; collapse the per-label / per-k
+  // predicate families onto one tag each.
+  telemetry::TraceSpan span(telemetry::CurrentTrace(), "edb.materialize");
+  if (span) {
+    span.Tag(name == "root"            ? "root"
+             : name == "leaf"          ? "leaf"
+             : name == "lastsibling"   ? "lastsibling"
+             : name == "firstsibling"  ? "firstsibling"
+             : name == "firstchild"    ? "firstchild"
+             : name == "nextsibling"   ? "nextsibling"
+             : name == "child"         ? "child"
+             : name == "lastchild"     ? "lastchild"
+             : name == "nextsibling_tc" ? "nextsibling_tc"
+             : ChildKIndex(name) >= 1  ? "child_k"
+                                       : "label");
+    span.Value("nodes", t.size());
+  }
   Relation rel(arity, t.size());
 
   if (arity == 1) {

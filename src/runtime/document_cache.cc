@@ -87,7 +87,7 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
 
 util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     std::string_view html, const std::string& project_attr,
-    const Hash128& content_hash) {
+    const Hash128& content_hash, telemetry::TraceSpan* span) {
   Key key{content_hash, project_attr};
   const uint64_t key_hash = KeyHash64(content_hash, project_attr);
   Shard& shard = ShardFor(key_hash);
@@ -102,6 +102,7 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       ++shard.hits;
+      if (span != nullptr) span->Tag("hit");
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       RefreshChargeAndEvict(shard, shard.lru.begin());
       return it->second->doc;
@@ -121,6 +122,7 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
   MD_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedDocument> doc,
       PrepareDocument(html, project_attr, content_hash, &from_store));
+  if (span != nullptr) span->Tag(from_store ? "store" : "parse");
   if (byte_budget_ <= 0) {
     if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
     return doc;
@@ -144,6 +146,7 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
            !shard.lru.empty()) {
       if (!shard.lfu->Admit(key_hash, shard.lru.back().key_hash)) {
         ++shard.admission_rejects;
+        if (span != nullptr) span->Value("admitted", 0);
         return doc;  // served uncached; the resident set stays intact
       }
       EvictBack(shard);
@@ -167,16 +170,19 @@ DocumentCache::PrepareDocument(std::string_view html,
                                bool* from_store) {
   *from_store = false;
   if (corpus_store_ != nullptr) {
+    telemetry::TraceSpan span(telemetry::CurrentTrace(), "store.rehydrate");
     util::Result<store::FrozenDocument> frozen =
         corpus_store_->Find(content_hash, project_attr);
     if (frozen.ok()) {
       *from_store = true;
       return CachedDocument::FromFrozen(*frozen, corpus_store_);
     }
+    span.Tag("miss");
     // NotFound: the corpus simply doesn't have this page. DataLoss: it does
     // but the blob failed validation — the parse below is the safe fallback
     // either way (we still hold the original bytes).
   }
+  telemetry::TraceSpan span(telemetry::CurrentTrace(), "html.parse");
   return CachedDocument::Parse(html, project_attr);
 }
 

@@ -16,6 +16,7 @@
 #include "src/html/parser.h"
 #include "src/runtime/admission.h"
 #include "src/store/corpus_store.h"
+#include "src/telemetry/trace.h"
 #include "src/tree/tree.h"
 #include "src/util/hash.h"
 #include "src/util/result.h"
@@ -171,10 +172,13 @@ class DocumentCache {
 
   /// Same, with the content hash precomputed by the caller (the runtime
   /// already hashed the page for its memo key — don't re-scan the bytes).
-  /// `content_hash` must equal HashBytes128(html).
+  /// `content_hash` must equal HashBytes128(html). `span`, when non-null, is
+  /// the caller's open trace span for this lookup: it is tagged with the
+  /// outcome ("hit", "store", "parse", or "uncached") and carries
+  /// admitted=0 when TinyLFU denies the prepared document a slot.
   util::Result<std::shared_ptr<const CachedDocument>> GetOrParse(
       std::string_view html, const std::string& project_attr,
-      const Hash128& content_hash);
+      const Hash128& content_hash, telemetry::TraceSpan* span = nullptr);
 
   /// Re-reads the entry's ApproxBytes and re-balances its shard. Call after
   /// an evaluation that may have materialized EDB relations: the byte charge

@@ -6,6 +6,8 @@
 #include "src/core/eval.h"
 #include "src/elog/eval.h"
 #include "src/stream/stream_session.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/trace.h"
 #include "src/tree/serialize.h"
 #include "src/util/bits.h"
 #include "src/util/check.h"
@@ -14,6 +16,7 @@ namespace mdatalog::runtime {
 
 WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
     : options_(options),
+      telemetry_(options.telemetry),
       programs_(options.program_cache_capacity,
                 options.canonical_program_keys),
       documents_(DocumentCacheOptions{
@@ -29,6 +32,20 @@ WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
                     options.result_memo_bytes /
                         util::RoundUpPow2(options.result_memo_shards),
                     1)),
+      pages_wrapped_(
+          telemetry_.registry().GetCounter("runtime.pages_wrapped")),
+      grounded_evals_(
+          telemetry_.registry().GetCounter("runtime.grounded_evals")),
+      seminaive_evals_(
+          telemetry_.registry().GetCounter("runtime.seminaive_evals")),
+      native_evals_(telemetry_.registry().GetCounter("runtime.native_evals")),
+      deadline_exceeded_(
+          telemetry_.registry().GetCounter("runtime.deadline_exceeded")),
+      cancelled_(telemetry_.registry().GetCounter("runtime.cancelled")),
+      stream_sessions_(
+          telemetry_.registry().GetCounter("runtime.stream_sessions")),
+      stream_sessions_failed_(
+          telemetry_.registry().GetCounter("runtime.stream_sessions_failed")),
       pool_(options.num_threads) {
   const int32_t n = util::RoundUpPow2(options.result_memo_shards);
   memo_shard_mask_ = static_cast<uint64_t>(n - 1);
@@ -68,33 +85,83 @@ util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
       return s;
     }
   }
+  // A caller-owned trace wins (the caller keeps it, bypassing sampling and
+  // the ring); otherwise the telemetry policy decides and the runtime
+  // retains the finished trace. The TraceScope makes the trace visible to
+  // every layer below (EDB materialization, fixpoint engines, SAT core)
+  // via CurrentTrace() without threading a pointer through signatures.
+  std::unique_ptr<telemetry::TraceContext> owned =
+      request.trace != nullptr ? nullptr : telemetry_.StartTrace("wrap");
+  telemetry::TraceContext* trace =
+      request.trace != nullptr ? request.trace : owned.get();
+  const telemetry::TraceScope scope(trace);
+  if (trace != nullptr) {
+    trace->set_page_bytes(static_cast<int64_t>(html.size()));
+  }
+
+  util::Result<std::string> xml = WrapImpl(handle, html, control, trace);
+  const util::StatusCode code =
+      xml.ok() ? util::StatusCode::kOk : xml.status().code();
+  if (owned != nullptr) {
+    telemetry_.FinishTrace(std::move(owned), code);
+  } else if (trace != nullptr) {
+    trace->set_status(code);
+    trace->Close();
+  }
+  return xml;
+}
+
+util::Result<std::string> WrapperRuntime::WrapImpl(
+    const WrapperHandle& handle, std::string_view html,
+    const util::EvalControl& control, telemetry::TraceContext* trace) {
   // One content hash per request, shared by the memo key and the document
   // cache key — the page bytes are scanned exactly once.
-  const Hash128 content_hash = HashBytes128(html);
+  Hash128 content_hash;
+  {
+    telemetry::TraceSpan span(trace, "hash");
+    content_hash = HashBytes128(html);
+  }
   const MemoKey key{handle.program->canonical_fingerprint, content_hash,
                     handle.project_attr};
   const uint64_t memo_hash = MemoKeyHash64(key);
-  if (std::shared_ptr<const std::string> memoized =
-          MemoLookup(key, memo_hash)) {
-    return *memoized;
+  {
+    telemetry::TraceSpan span(trace, "memo.lookup");
+    if (std::shared_ptr<const std::string> memoized =
+            MemoLookup(key, memo_hash)) {
+      span.Tag("hit");
+      return *memoized;
+    }
+    span.Tag(options_.result_memo_bytes > 0 ? "miss" : "off");
   }
 
-  MD_ASSIGN_OR_RETURN(
-      std::shared_ptr<const CachedDocument> doc,
-      documents_.GetOrParse(html, handle.project_attr, content_hash));
+  std::shared_ptr<const CachedDocument> doc;
+  {
+    telemetry::TraceSpan span(trace, "doc.fetch");
+    MD_ASSIGN_OR_RETURN(doc,
+                        documents_.GetOrParse(html, handle.project_attr,
+                                              content_hash, &span));
+  }
+  if (trace != nullptr) trace->set_nodes(doc->tree().size());
+
   util::Result<std::string> xml =
       Evaluate(*handle.program, *doc,
                control.unbounded() ? nullptr : &control);
-  // Honest byte accounting: the evaluation may have materialized EDB
-  // relations on the shared TreeDatabase; recharge the shard now rather
-  // than waiting for a hit that may never come.
-  documents_.Recharge(content_hash, handle.project_attr);
+  {
+    // Honest byte accounting: the evaluation may have materialized EDB
+    // relations on the shared TreeDatabase; recharge the shard now rather
+    // than waiting for a hit that may never come.
+    telemetry::TraceSpan span(trace, "cache.recharge");
+    documents_.Recharge(content_hash, handle.project_attr);
+  }
   if (!xml.ok()) {
     CountFailure(xml.status());
     return xml.status();
   }
   auto shared = std::make_shared<const std::string>(*std::move(xml));
-  MemoInsert(key, memo_hash, shared);
+  {
+    telemetry::TraceSpan span(trace, "memo.insert");
+    MemoInsert(key, memo_hash, shared);
+  }
   return *shared;
 }
 
@@ -106,6 +173,7 @@ util::Result<std::string> WrapperRuntime::Evaluate(
       options_.engine == EngineMode::kGroundedDatalog ||
       (options_.engine == EngineMode::kAuto && program.has_ground_plan);
   const bool seminaive = options_.engine == EngineMode::kSemiNaiveDatalog;
+  telemetry::TraceContext* trace = telemetry::CurrentTrace();
 
   elog::ElogResult matches;
   if (grounded || seminaive) {
@@ -116,13 +184,22 @@ util::Result<std::string> WrapperRuntime::Evaluate(
     }
     core::EvalResult eval;
     if (grounded) {
+      telemetry::TraceSpan span(trace, "eval.grounded");
       // One arena per worker thread: all clause-arena and solver allocations
       // amortize across the documents this thread serves.
       thread_local core::GroundArena arena;
+      core::GroundStats gstats;
       MD_ASSIGN_OR_RETURN(
           eval, core::EvaluateGrounded(*program.ground_plan, doc.tree(),
-                                       &arena, /*stats=*/nullptr, control));
+                                       &arena, span ? &gstats : nullptr,
+                                       control));
+      if (span) {
+        span.Value("clauses", gstats.num_clauses);
+        span.Value("rounds", eval.num_iterations());
+        span.Value("derived", eval.num_derived());
+      }
     } else {
+      telemetry::TraceSpan span(trace, "eval.seminaive");
       // The shared, mutex-guarded TreeDatabase: EDB relations materialize on
       // first touch and every later query on this document reuses them.
       core::EvalOptions eval_options;
@@ -130,6 +207,10 @@ util::Result<std::string> WrapperRuntime::Evaluate(
       MD_ASSIGN_OR_RETURN(eval, core::EvaluateSemiNaive(program.tmnf,
                                                         doc.edb(),
                                                         eval_options));
+      if (span) {
+        span.Value("rounds", eval.num_iterations());
+        span.Value("derived", eval.num_derived());
+      }
     }
     const auto& patterns = program.prepared.extraction_patterns;
     for (size_t i = 0; i < patterns.size(); ++i) {
@@ -138,35 +219,33 @@ util::Result<std::string> WrapperRuntime::Evaluate(
       matches.matches[patterns[i]] = eval.Unary(pred);
     }
   } else {
+    telemetry::TraceSpan span(trace, "eval.native");
     MD_ASSIGN_OR_RETURN(
         matches, elog::EvaluateElog(program.prepared.program, doc.tree(),
                                     elog::kDefaultMaxDerivations, control));
   }
 
-  tree::Tree out = wrapper::BuildOutputTree(
-      program.prepared.extraction_patterns, matches, doc.tree());
-  std::string xml = tree::ToXml(out);
-
+  std::string xml;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++pages_wrapped_;
-    ++(grounded   ? grounded_evals_
-       : seminaive ? seminaive_evals_
-                   : native_evals_);
+    telemetry::TraceSpan span(trace, "output.build");
+    tree::Tree out = wrapper::BuildOutputTree(
+        program.prepared.extraction_patterns, matches, doc.tree());
+    xml = tree::ToXml(out);
   }
+
+  pages_wrapped_->Add(1);
+  (grounded   ? grounded_evals_
+   : seminaive ? seminaive_evals_
+               : native_evals_)
+      ->Add(1);
   return xml;
 }
 
 void WrapperRuntime::CountFailure(const util::Status& status) {
-  if (status.code() != util::StatusCode::kDeadlineExceeded &&
-      status.code() != util::StatusCode::kCancelled) {
-    return;
-  }
-  std::lock_guard<std::mutex> lock(stats_mu_);
   if (status.code() == util::StatusCode::kDeadlineExceeded) {
-    ++deadline_exceeded_;
-  } else {
-    ++cancelled_;
+    deadline_exceeded_->Add(1);
+  } else if (status.code() == util::StatusCode::kCancelled) {
+    cancelled_->Add(1);
   }
 }
 
@@ -179,6 +258,8 @@ WrapperRuntime::SubmitStream(const WrapperHandle& handle,
   if (!control.unbounded()) {
     util::Status s = control.Check();
     if (!s.ok()) {
+      // A session that cannot even open is still a failed session.
+      stream_sessions_failed_->Add(1);
       CountFailure(s);
       return s;
     }
@@ -190,16 +271,17 @@ WrapperRuntime::SubmitStream(const WrapperHandle& handle,
                                  std::move(user_on_finish)](
                           const util::Status& status) {
     if (status.ok()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++pages_wrapped_;
-      ++stream_sessions_;
+      pages_wrapped_->Add(1);
+      stream_sessions_->Add(1);
     } else {
+      stream_sessions_failed_->Add(1);
       CountFailure(status);
     }
     if (user_on_finish) user_on_finish(status);
   };
   return std::make_unique<stream::StreamSession>(
-      handle.program, handle.project_attr, std::move(options), request);
+      handle.program, handle.project_attr, std::move(options), request,
+      &telemetry_);
 }
 
 std::future<util::Result<std::string>> WrapperRuntime::Submit(
@@ -313,15 +395,52 @@ RuntimeStats WrapperRuntime::stats() const {
     out.memo_admission_rejects += shard->admission_rejects;
     out.memo_bytes += shard->bytes;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  out.pages_wrapped = pages_wrapped_;
-  out.grounded_evals = grounded_evals_;
-  out.seminaive_evals = seminaive_evals_;
-  out.native_evals = native_evals_;
-  out.deadline_exceeded = deadline_exceeded_;
-  out.cancelled = cancelled_;
-  out.stream_sessions = stream_sessions_;
+  out.pages_wrapped = pages_wrapped_->Value();
+  out.grounded_evals = grounded_evals_->Value();
+  out.seminaive_evals = seminaive_evals_->Value();
+  out.native_evals = native_evals_->Value();
+  out.deadline_exceeded = deadline_exceeded_->Value();
+  out.cancelled = cancelled_->Value();
+  out.stream_sessions = stream_sessions_->Value();
+  out.stream_sessions_failed = stream_sessions_failed_->Value();
   return out;
+}
+
+telemetry::MetricsSnapshot WrapperRuntime::MetricsWithCacheStats() const {
+  telemetry::MetricsSnapshot snap = telemetry_.registry().Snapshot();
+  const RuntimeStats s = stats();
+  // The caches keep their own sharded counters (their hot paths predate the
+  // registry and already scale); exports fold them in so one scrape sees
+  // everything. Monotonic series go in as counters, sizes as gauges.
+  snap.counters["document_cache.hits"] = s.document_cache.hits;
+  snap.counters["document_cache.misses"] = s.document_cache.misses;
+  snap.counters["document_cache.evictions"] = s.document_cache.evictions;
+  snap.counters["document_cache.admission_rejects"] =
+      s.document_cache.admission_rejects;
+  snap.counters["document_cache.store_hits"] = s.document_cache.store_hits;
+  snap.gauges["document_cache.bytes_in_use"] = s.document_cache.bytes_in_use;
+  snap.gauges["document_cache.byte_budget"] = s.document_cache.byte_budget;
+  snap.gauges["document_cache.entries"] = s.document_cache.entries;
+  snap.counters["program_cache.hits"] = s.program_cache.hits;
+  snap.counters["program_cache.misses"] = s.program_cache.misses;
+  snap.counters["program_cache.evictions"] = s.program_cache.evictions;
+  snap.counters["program_cache.canonical_key_hits"] =
+      s.program_cache.canonical_key_hits;
+  snap.gauges["program_cache.entries"] = s.program_cache.entries;
+  snap.gauges["program_cache.ground_plans"] = s.program_cache.ground_plans;
+  snap.counters["result_memo.hits"] = s.memo_hits;
+  snap.counters["result_memo.misses"] = s.memo_misses;
+  snap.counters["result_memo.admission_rejects"] = s.memo_admission_rejects;
+  snap.gauges["result_memo.bytes"] = s.memo_bytes;
+  return snap;
+}
+
+std::string WrapperRuntime::ExportPrometheus() const {
+  return telemetry::ToPrometheus(MetricsWithCacheStats());
+}
+
+std::string WrapperRuntime::ExportJson() const {
+  return telemetry::ToJson(MetricsWithCacheStats(), telemetry_.RecentTraces());
 }
 
 }  // namespace mdatalog::runtime

@@ -16,6 +16,7 @@
 #include "src/runtime/program_cache.h"
 #include "src/runtime/thread_pool.h"
 #include "src/stream/stream_types.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/deadline.h"
 #include "src/util/result.h"
 #include "src/wrapper/wrapper.h"
@@ -92,6 +93,13 @@ struct RuntimeOptions {
     kSemiNaiveDatalog,
   };
   EngineMode engine = EngineMode::kAuto;
+
+  /// Observability: tracing + latency histograms. `telemetry.enabled = false`
+  /// reduces the instrumentation to one branch per would-be span (no clock
+  /// reads, no allocation); the serving counters behind stats() record
+  /// regardless — they are striped relaxed atomics, cheaper than the mutexed
+  /// counters they replaced.
+  telemetry::TelemetryOptions telemetry;
 };
 
 /// Per-request bounds, threaded from Submit/RunBatch through the engines.
@@ -105,6 +113,12 @@ struct RequestOptions {
   /// holds the shared_ptr in the request closure, so the token outlives the
   /// evaluation. Cancelled requests return kCancelled.
   std::shared_ptr<util::CancelToken> cancel;
+  /// Caller-owned trace for this request. When set, the runtime records the
+  /// request's span tree into it (bypassing the sampling policy and the
+  /// trace ring — the caller keeps the trace) instead of starting its own.
+  /// Must outlive the request; for Submit/RunBatch that means until the
+  /// future resolves. Null = the runtime's own sampling policy decides.
+  telemetry::TraceContext* trace = nullptr;
 };
 
 struct RuntimeStats {
@@ -121,6 +135,8 @@ struct RuntimeStats {
   int64_t deadline_exceeded = 0;   // requests unwound by their deadline
   int64_t cancelled = 0;           // requests unwound by their cancel token
   int64_t stream_sessions = 0;     // stream sessions finished successfully
+  int64_t stream_sessions_failed = 0;  // sessions ended by deadline/cancel/
+                                       // parse failure (any non-OK terminal)
 };
 
 /// A registered wrapper: the shared compiled program plus the attribute
@@ -178,6 +194,19 @@ class WrapperRuntime {
   RuntimeStats stats() const;
   int32_t num_threads() const { return pool_.num_threads(); }
 
+  /// The runtime's telemetry bundle: metrics registry, recent traces, slow
+  /// log. Live for the runtime's lifetime.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Prometheus text exposition of every metric the runtime knows — the
+  /// registry (serving counters, per-stage latency histograms) merged with
+  /// the cache/memo statistics (injected as counters/gauges).
+  std::string ExportPrometheus() const;
+  /// One JSON document: the same metrics plus the recent completed traces
+  /// (full span trees) and the per-page nodes-vs-wall-time scatter.
+  std::string ExportJson() const;
+
  private:
   struct MemoKey {
     uint64_t program_fp;   // canonical fingerprint: equivalent wrappers share
@@ -230,6 +259,13 @@ class WrapperRuntime {
       const WrapperHandle& handle, const std::string* page,
       const RequestOptions& request);
 
+  /// Wrap minus trace lifecycle: hash → memo → document → evaluate → memo
+  /// insert, recording spans against `trace` (may be null).
+  util::Result<std::string> WrapImpl(const WrapperHandle& handle,
+                                     std::string_view html,
+                                     const util::EvalControl& control,
+                                     telemetry::TraceContext* trace);
+
   /// The uncached evaluation core: engine selection + extent computation +
   /// output construction over a prepared document. `control` may be null.
   util::Result<std::string> Evaluate(const CompiledWrapperProgram& program,
@@ -239,7 +275,14 @@ class WrapperRuntime {
   /// Books a terminal status into the deadline/cancel counters.
   void CountFailure(const util::Status& status);
 
+  /// Registry snapshot with the cache/memo statistics folded in (the caches
+  /// keep their own sharded counters; exports want one document).
+  telemetry::MetricsSnapshot MetricsWithCacheStats() const;
+
   const RuntimeOptions options_;
+  // Before the caches and the pool: counter handles below point into the
+  // registry, and pool workers record through them until the pool drains.
+  telemetry::Telemetry telemetry_;
   ProgramCache programs_;
   DocumentCache documents_;
 
@@ -247,14 +290,17 @@ class WrapperRuntime {
   uint64_t memo_shard_mask_ = 0;
   std::vector<std::unique_ptr<MemoShard>> memo_shards_;
 
-  mutable std::mutex stats_mu_;
-  int64_t pages_wrapped_ = 0;
-  int64_t grounded_evals_ = 0;
-  int64_t seminaive_evals_ = 0;
-  int64_t native_evals_ = 0;
-  int64_t deadline_exceeded_ = 0;
-  int64_t cancelled_ = 0;
-  int64_t stream_sessions_ = 0;
+  // Serving counters, resolved once at construction. Striped lock-free
+  // counters in the registry — stats() reads the same storage the exporters
+  // scrape, so the two can never disagree.
+  telemetry::Counter* const pages_wrapped_;
+  telemetry::Counter* const grounded_evals_;
+  telemetry::Counter* const seminaive_evals_;
+  telemetry::Counter* const native_evals_;
+  telemetry::Counter* const deadline_exceeded_;
+  telemetry::Counter* const cancelled_;
+  telemetry::Counter* const stream_sessions_;
+  telemetry::Counter* const stream_sessions_failed_;
 
   // Last member on purpose: ~ThreadPool drains queued jobs, and those jobs
   // touch every cache/mutex above — the pool must die (and drain) first.

@@ -119,6 +119,8 @@ void IncrementalTmnfEval::AddNode(int32_t node, int32_t prev_sibling) {
     rel.fwd.emplace_back();
     rel.bwd.emplace_back();
   }
+  binary_bytes_ +=
+      static_cast<int64_t>(rels_.size()) * 2 * sizeof(std::vector<int32_t>);
   if (prev_sibling < 0) return;
   // A kTcFwd rule whose mark reached prev_sibling covers every later sibling
   // too: extend the mark (and the head) onto the new chain tail.
@@ -144,7 +146,28 @@ void IncrementalTmnfEval::AddBinaryFact(core::PredId pred, int32_t a,
   if (rel < 0) return;  // no rule reads this relation
   rels_[rel].fwd[a].push_back(b);
   rels_[rel].bwd[b].push_back(a);
+  binary_bytes_ += 2 * sizeof(int32_t);
   binary_delta_.push_back({rel, a, b});
+}
+
+int64_t IncrementalTmnfEval::ApproxBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(*this)) + binary_bytes_;
+  for (const Bits& b : unary_) {
+    bytes += static_cast<int64_t>(b.words.capacity()) * sizeof(uint64_t);
+  }
+  for (const Bits& b : tc_marks_) {
+    bytes += static_cast<int64_t>(b.words.capacity()) * sizeof(uint64_t);
+  }
+  bytes += static_cast<int64_t>(next_sibling_.capacity() +
+                                prev_sibling_.capacity()) *
+           sizeof(int32_t);
+  bytes += static_cast<int64_t>(unary_delta_.size()) *
+           sizeof(std::pair<core::PredId, int32_t>);
+  bytes += static_cast<int64_t>(binary_delta_.size()) *
+           sizeof(std::array<int32_t, 3>);
+  bytes += static_cast<int64_t>(insertion_log_.capacity()) *
+           sizeof(std::pair<core::PredId, int32_t>);
+  return bytes;
 }
 
 void IncrementalTmnfEval::Insert(core::PredId pred, int32_t node) {

@@ -81,6 +81,13 @@ class IncrementalTmnfEval {
 
   int64_t num_facts() const { return num_facts_; }
 
+  /// Approximate heap footprint of the evaluator's state (bitsets, binary
+  /// adjacency, sibling chains, pending deltas, insertion log). O(#preds)
+  /// per call, not O(domain): the binary adjacency — the only part whose
+  /// exact walk would be linear in the domain — is tracked incrementally as
+  /// nodes and facts arrive. Feeds the session's peak_edb_bytes gauge.
+  int64_t ApproxBytes() const;
+
  private:
   enum class RuleKind : uint8_t {
     kCopy,     // p(x) ← p0(x)
@@ -148,6 +155,7 @@ class IncrementalTmnfEval {
   /// All (pred, node) insertions in order, for hook replay.
   std::vector<std::pair<core::PredId, int32_t>> insertion_log_;
   int64_t num_facts_ = 0;
+  int64_t binary_bytes_ = 0;  // adjacency-list bytes, kept by Add{Node,BinaryFact}
 };
 
 }  // namespace mdatalog::stream

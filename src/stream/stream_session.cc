@@ -73,13 +73,18 @@ constexpr uint8_t kEmitted = 4;
 StreamSession::StreamSession(
     std::shared_ptr<const runtime::CompiledWrapperProgram> program,
     std::string project_attr, StreamOptions options,
-    runtime::RequestOptions request)
+    runtime::RequestOptions request, telemetry::Telemetry* telemetry)
     : program_(std::move(program)),
       project_attr_(std::move(project_attr)),
       options_(std::move(options)),
       request_(std::move(request)),
-      control_(request_.deadline, request_.cancel.get()) {
+      control_(request_.deadline, request_.cancel.get()),
+      telemetry_(telemetry),
+      external_trace_(request_.trace) {
   MD_CHECK(program_ != nullptr);
+  if (external_trace_ == nullptr && telemetry_ != nullptr) {
+    trace_ = telemetry_->StartTrace("stream");
+  }
   if (program_->has_ground_plan) {
     eval_stripped_ = IncrementalTmnfEval::Compile(program_->tmnf);
   }
@@ -171,20 +176,83 @@ util::Status StreamSession::CheckLive() {
 }
 
 util::Status StreamSession::PropagateAll() {
+  telemetry::TraceSpan span(cur_trace(), "stream.propagate");
+  int64_t facts_before = 0;
+  if (span) {
+    for (IncrementalTmnfEval* ev : {eval_stripped_.get(), eval_kept_.get()}) {
+      if (ev != nullptr) facts_before += ev->num_facts();
+    }
+  }
   for (IncrementalTmnfEval* ev : {eval_stripped_.get(), eval_kept_.get()}) {
     if (ev != nullptr) MD_RETURN_NOT_OK(ev->Propagate(control()));
+  }
+  if (span) {
+    int64_t facts_after = 0;
+    for (IncrementalTmnfEval* ev : {eval_stripped_.get(), eval_kept_.get()}) {
+      if (ev != nullptr) facts_after += ev->num_facts();
+    }
+    span.Value("delta", facts_after - facts_before);
   }
   return util::Status::OK();
 }
 
+void StreamSession::UpdateEdbPeak() {
+  int64_t bytes = 0;
+  for (IncrementalTmnfEval* ev : {eval_stripped_.get(), eval_kept_.get()}) {
+    if (ev != nullptr) bytes += ev->ApproxBytes();
+  }
+  peak_edb_bytes_ = std::max(peak_edb_bytes_, bytes);
+}
+
+void StreamSession::SettleSessionTrace() {
+  if (!terminal_) return;
+  if (telemetry_ != nullptr) {
+    // The peaks survive the session as registry gauges (process-wide highs)
+    // even when this particular request was not traced.
+    telemetry_->registry().GetGauge("stream.peak_live_nodes")
+        ->SetMax(peak_live_nodes_);
+    telemetry_->registry().GetGauge("stream.peak_edb_bytes")
+        ->SetMax(peak_edb_bytes_);
+  }
+  telemetry::TraceContext* trace = cur_trace();
+  if (trace == nullptr) return;
+  trace->set_page_bytes(bytes_fed_);
+  trace->set_nodes(builder_.size());
+  const util::StatusCode code =
+      status_.ok() ? util::StatusCode::kOk : status_.code();
+  if (trace_ != nullptr && telemetry_ != nullptr) {
+    telemetry_->FinishTrace(std::move(trace_), code);
+  } else {
+    // Caller-owned (or orphaned) trace: close it, the caller keeps it.
+    trace->set_status(code);
+    trace->Close();
+    trace_.reset();
+  }
+}
+
 util::Status StreamSession::Feed(std::string_view chunk) {
+  const telemetry::TraceScope scope(cur_trace());
+  util::Status s = FeedImpl(chunk);
+  // Settled only after every span above has unwound: finishing the trace
+  // moves its span log, and a live TraceSpan still points into it.
+  SettleSessionTrace();
+  return s;
+}
+
+util::Status StreamSession::FeedImpl(std::string_view chunk) {
   MD_RETURN_NOT_OK(CheckLive());
+  bytes_fed_ += static_cast<int64_t>(chunk.size());
+  telemetry::TraceSpan span(cur_trace(), "stream.feed");
+  span.Value("bytes", static_cast<int64_t>(chunk.size()));
   std::vector<html::Token> tokens;
   util::Status s = tokenizer_.Feed(chunk, &tokens, control());
   if (!s.ok()) return Terminal(std::move(s));
+  const int32_t nodes_before = builder_.size();
   ProcessTokens(tokens);
+  span.Value("nodes", builder_.size() - nodes_before);
   s = PropagateAll();
   if (!s.ok()) return Terminal(std::move(s));
+  UpdateEdbPeak();
   return util::Status::OK();
 }
 
@@ -245,6 +313,7 @@ tree::NodeId StreamSession::CreateNode(const std::string& label) {
   const tree::NodeId n = builder_.Child(parent, label);
   num_children_.push_back(0);
   closed_.push_back(false);
+  peak_live_nodes_ = std::max(peak_live_nodes_, ++live_nodes_);
   const int32_t k = ++num_children_[parent];
   const tree::NodeId prev = builder_.prev_sibling(n);
   if (!incremental_) return n;
@@ -291,6 +360,7 @@ tree::NodeId StreamSession::CreateNode(const std::string& label) {
 
 void StreamSession::CloseNode(tree::NodeId n) {
   closed_[n] = true;
+  --live_nodes_;
   if (!incremental_) return;
   const tree::NodeId lc = builder_.last_child(n);
   for (IncrementalTmnfEval* ev : {eval_stripped_.get(), eval_kept_.get()}) {
@@ -375,8 +445,16 @@ void StreamSession::EmitResult(int32_t pattern_index, tree::NodeId node) {
 }
 
 util::Result<std::string> StreamSession::Finish() {
+  const telemetry::TraceScope scope(cur_trace());
+  util::Result<std::string> result = FinishImpl();
+  SettleSessionTrace();
+  return result;
+}
+
+util::Result<std::string> StreamSession::FinishImpl() {
   MD_RETURN_NOT_OK(CheckLive());
   finished_ = true;
+  telemetry::TraceSpan finish_span(cur_trace(), "stream.finish");
 
   std::vector<html::Token> tokens;
   util::Status s = tokenizer_.Finish(&tokens, control());
@@ -407,7 +485,12 @@ util::Result<std::string> StreamSession::Finish() {
       AssertBinary(winner, lastchild_pred_, 0, lc);
     }
     closed_[0] = true;  // patterns may select the kept "#document" root
-    s = winner->Propagate(control());
+    {
+      telemetry::TraceSpan span(cur_trace(), "stream.propagate");
+      s = winner->Propagate(control());
+      if (span) span.Value("facts", winner->num_facts());
+    }
+    UpdateEdbPeak();
     if (!s.ok()) return Terminal(std::move(s));
     // The hypothesis resolution relaxed the emission criterion; everything
     // the winner derived on closed subtrees (i.e. everything) must be out

@@ -12,6 +12,7 @@
 #include "src/runtime/runtime.h"
 #include "src/stream/incremental_eval.h"
 #include "src/stream/stream_types.h"
+#include "src/telemetry/telemetry.h"
 #include "src/tree/tree.h"
 #include "src/util/result.h"
 
@@ -60,10 +61,16 @@ class StreamSession {
   /// `project_attr` mirrors WrapperHandle::project_attr (Remark 2.2
   /// attribute projection, applied to labels as nodes are created).
   /// `request` carries the deadline / cancel token; both the tokenizer and
-  /// the delta rounds poll it.
+  /// the delta rounds poll it. `telemetry`, when non-null (the runtime
+  /// passes its own bundle), traces the session ("stream" kind: one
+  /// stream.feed span per chunk, stream.propagate per delta round batch,
+  /// stream.finish) and books the session's peak gauges at termination; it
+  /// must outlive the session. request.trace overrides the sampling policy
+  /// exactly as in Wrap.
   StreamSession(std::shared_ptr<const runtime::CompiledWrapperProgram> program,
                 std::string project_attr, StreamOptions options,
-                runtime::RequestOptions request = {});
+                runtime::RequestOptions request = {},
+                telemetry::Telemetry* telemetry = nullptr);
 
   StreamSession(const StreamSession&) = delete;
   StreamSession& operator=(const StreamSession&) = delete;
@@ -91,11 +98,35 @@ class StreamSession {
   /// (bounded by the longest tag/comment/script body, not the page).
   size_t buffered_bytes() const { return tokenizer_.buffered_bytes(); }
 
+  /// Bounded-memory observability: the largest number of simultaneously
+  /// open (subtree-incomplete) nodes the session has held. Open nodes are
+  /// the part of the tree whose EDB facts are still pending — for
+  /// well-formed input this tracks nesting depth, not page length.
+  int64_t peak_live_nodes() const { return peak_live_nodes_; }
+  /// Peak ApproxBytes across the session's incremental evaluators (both
+  /// hypothesis worlds while both are live). 0 for non-incremental sessions.
+  int64_t peak_edb_bytes() const { return peak_edb_bytes_; }
+
  private:
   /// Terminal-state bookkeeping: latches the first non-OK status and fires
   /// on_finish exactly once (also on successful Finish, with OK).
   util::Status Terminal(util::Status status);
   util::Status CheckLive();
+
+  /// Feed/Finish bodies; the public wrappers install the trace scope and
+  /// settle the session trace after every span has unwound (the trace must
+  /// not be finished while a stack span still points into it).
+  util::Status FeedImpl(std::string_view chunk);
+  util::Result<std::string> FinishImpl();
+  /// After Terminal fired: books the peak gauges and finishes (owned) or
+  /// closes (caller-owned) the session trace. Idempotent.
+  void SettleSessionTrace();
+  /// The session's trace: the caller-owned one from RequestOptions::trace,
+  /// or the sampled one the session started. May be null.
+  telemetry::TraceContext* cur_trace() const {
+    return external_trace_ != nullptr ? external_trace_ : trace_.get();
+  }
+  void UpdateEdbPeak();
 
   void ProcessTokens(const std::vector<html::Token>& tokens);
   /// `label` is already projected (Remark 2.2); attributes are not retained.
@@ -169,6 +200,14 @@ class StreamSession {
   bool finished_ = false;
   bool terminal_ = false;  // on_finish fired
   util::Status status_;    // first error, latched
+
+  telemetry::Telemetry* const telemetry_;            // may be null
+  telemetry::TraceContext* const external_trace_;    // caller-owned, may be null
+  std::unique_ptr<telemetry::TraceContext> trace_;   // owned, may be null
+  int64_t bytes_fed_ = 0;
+  int64_t live_nodes_ = 0;
+  int64_t peak_live_nodes_ = 0;
+  int64_t peak_edb_bytes_ = 0;
 };
 
 }  // namespace mdatalog::stream

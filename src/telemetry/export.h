@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
+/// \file export.h
+/// Serialization of telemetry state for scrapers and humans:
+///
+///  * ToPrometheus — the Prometheus text exposition format (0.0.4):
+///    counters as `<name>_total`, gauges plain, histograms with cumulative
+///    `_bucket{le="…"}` series (only occupied cut points are emitted — a
+///    256-bucket log histogram would otherwise dominate the scrape),
+///    `_sum` and `_count`. Metric names are sanitized ('.' → '_') and
+///    prefixed `mdatalog_`.
+///
+///  * ToJson — a single structured document: counters, gauges, histograms
+///    (with derived p50/p90/p99), the recent completed traces with their
+///    full span trees, and a per-page `scatter` array (nodes, page bytes,
+///    wall ns per request) — the series that makes the paper's
+///    linear-time-per-page claim (Theorem 4.2) empirically checkable:
+///    plot wall_ns against nodes, the fit must stay a line.
+///
+///  * FormatBreakdown — one request's span tree as an indented
+///    human-readable string (the slow-request log entry format).
+
+namespace mdatalog::telemetry {
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
+
+std::string ToJson(const MetricsSnapshot& snapshot,
+                   const std::vector<FinishedTrace>& traces = {});
+
+std::string FormatBreakdown(const FinishedTrace& trace);
+
+}  // namespace mdatalog::telemetry

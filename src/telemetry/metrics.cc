@@ -1,0 +1,105 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mdatalog::telemetry {
+
+int32_t ThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const int32_t stripe = static_cast<int32_t>(
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes);
+  return stripe;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int32_t b = 0; b < kNumBuckets; ++b) counts[b] += other.counts[b];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+int64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the CDF.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (int32_t b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      const int64_t lo = BucketLowerBound(b);
+      const int64_t hi = std::min(BucketUpperBound(b), max + 1);
+      if (hi <= lo + 1) return lo;
+      // Linear interpolation within the bucket: rank position among the
+      // bucket's own observations.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(counts[b]);
+      return lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo - 1));
+    }
+    seen += counts[b];
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (const Stripe& s : stripes_) {
+    for (int32_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+      const uint64_t c = s.counts[b].load(std::memory_order_relaxed);
+      out.counts[b] += c;
+      out.count += c;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+template <typename T>
+T* MetricsRegistry::FindOrCreate(
+    std::shared_mutex& mu,
+    std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    auto it = map.find(std::string(name));
+    if (it != map.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu);
+  auto [it, inserted] = map.try_emplace(std::string(name));
+  if (inserted) it->second = std::make_unique<T>();
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return FindOrCreate(mu_, counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return FindOrCreate(mu_, gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return FindOrCreate(mu_, histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->Snapshot();
+  }
+  return out;
+}
+
+}  // namespace mdatalog::telemetry

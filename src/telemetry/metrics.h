@@ -1,0 +1,198 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/util/bits.h"
+
+/// \file metrics.h
+/// The lock-free metrics registry behind the serving pipeline's
+/// observability layer: monotonic counters, gauges, and log-bucketed
+/// latency histograms, all recordable from hot paths in ~ns.
+///
+/// Recording never takes a lock and never touches a cache line shared with
+/// another recording thread: every counter and histogram is striped into
+/// kStripes cache-line-aligned slots, each thread writes (relaxed atomics)
+/// to the stripe assigned to it at first use, and only snapshots — the cold
+/// path — sum across stripes. Registration (name → handle) is a
+/// shared_mutex-guarded map, hit once per metric per call site; handles are
+/// stable for the registry's lifetime, so call sites cache them.
+///
+/// Histograms are log-bucketed with power-of-two sub-buckets (HDR-style):
+/// values 0..3 get exact buckets, every later power of two is split into 4
+/// sub-buckets, so the relative quantile error is bounded by 25% across the
+/// full int64 range with 256 buckets total. That is the right trade for
+/// latency distributions — "p99 is ~1.2ms" is actionable, a KB-exact CDF is
+/// not — and it makes snapshots mergeable by plain bucket-wise addition
+/// (the property the multi-threaded recorder design and the cross-process
+/// roll-ups both rely on).
+
+namespace mdatalog::telemetry {
+
+/// Stripe count for counters and histograms. 16 is enough that the 4–8
+/// worker threads of a serving runtime virtually never share a stripe, while
+/// keeping a histogram's footprint at 16 × 2KB.
+inline constexpr int kStripes = 16;
+
+/// The stripe this thread records into: assigned round-robin at first use,
+/// so up to kStripes concurrent threads get private stripes.
+int32_t ThreadStripe();
+
+/// Monotonic counter. Add() is one relaxed fetch_add on a thread-private
+/// cache line; Value() sums the stripes (cold path).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    stripes_[ThreadStripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t sum = 0;
+    for (const Stripe& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<int64_t> v{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// Point-in-time value. Not striped: gauges are set at request granularity
+/// (peaks, sizes), not per tuple, so a single atomic is the right cost.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (peak tracking); lock-free CAS loop.
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Mergeable point-in-time view of one histogram (or a merge of several).
+struct HistogramSnapshot {
+  static constexpr int32_t kSubBits = 2;              ///< 4 sub-buckets/octave
+  static constexpr int32_t kSub = 1 << kSubBits;
+  static constexpr int32_t kNumBuckets = 256;
+
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t count = 0;   ///< Σ counts
+  int64_t sum = 0;      ///< Σ recorded values
+  int64_t max = 0;      ///< largest recorded value (0 when empty)
+
+  /// Bucket index of `v` (values < 0 clamp to 0).
+  static int32_t BucketOf(int64_t v) {
+    const uint64_t u = v < 0 ? 0 : static_cast<uint64_t>(v);
+    if (u < kSub) return static_cast<int32_t>(u);
+    const int32_t msb = 63 - util::CountLeadingZeros64(u);
+    const int32_t shift = msb - kSubBits;
+    const int32_t sub = static_cast<int32_t>((u >> shift) & (kSub - 1));
+    return (shift + 1) * kSub + sub;
+  }
+  /// Smallest value mapping to bucket `b` (inclusive).
+  static int64_t BucketLowerBound(int32_t b) {
+    if (b < kSub) return b;
+    const int32_t shift = b / kSub - 1;
+    const int64_t sub = b % kSub;
+    return (int64_t{kSub} + sub) << shift;
+  }
+  /// One past the largest value mapping to bucket `b`.
+  static int64_t BucketUpperBound(int32_t b) {
+    return b + 1 < kNumBuckets ? BucketLowerBound(b + 1)
+                               : std::numeric_limits<int64_t>::max();
+  }
+
+  void Merge(const HistogramSnapshot& other);
+  /// Quantile estimate (q in [0,1]): linear interpolation inside the
+  /// containing bucket, so the error is bounded by the bucket width (≤25%
+  /// relative). Returns 0 when empty.
+  int64_t Percentile(double q) const;
+  int64_t Mean() const {
+    return count == 0 ? 0 : sum / static_cast<int64_t>(count);
+  }
+};
+
+/// Log-bucketed histogram. Record() is a bucket computation (three ALU ops)
+/// plus two relaxed fetch_adds on a thread-private stripe.
+class Histogram {
+ public:
+  void Record(int64_t v) {
+    Stripe& s = stripes_[ThreadStripe()];
+    s.counts[HistogramSnapshot::BucketOf(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.sum.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+    // Peak keeping: one relaxed load + (rarely) a CAS.
+    int64_t cur = s.max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, HistogramSnapshot::kNumBuckets> counts{};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+/// Everything a registry knows, frozen: counters and gauges by name, plus
+/// full histogram snapshots. std::map so exports are deterministically
+/// ordered. Merge() folds another snapshot in (multi-registry roll-ups).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+};
+
+/// Name-keyed metric registry. GetCounter/GetGauge/GetHistogram return
+/// stable handles, creating the metric on first use (shared-lock fast path
+/// on every later lookup); recording through a handle never touches the
+/// registry again. Thread-safe throughout.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  static T* FindOrCreate(
+      std::shared_mutex& mu,
+      std::unordered_map<std::string, std::unique_ptr<T>>& map,
+      std::string_view name);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mdatalog::telemetry

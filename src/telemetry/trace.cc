@@ -1,0 +1,56 @@
+#include "src/telemetry/trace.h"
+
+namespace mdatalog::telemetry {
+
+namespace {
+thread_local TraceContext* g_current_trace = nullptr;
+}  // namespace
+
+TraceContext* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(TraceContext* trace) : prev_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+int32_t TraceContext::BeginSpan(const char* name) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_spans_;
+    return -1;
+  }
+  const int32_t index = static_cast<int32_t>(spans_.size());
+  SpanRecord span;
+  span.name = name;
+  span.start_ns = MonotonicNowNs();
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int32_t>(open_.size());
+  spans_.push_back(span);
+  open_.push_back(index);
+  return index;
+}
+
+void TraceContext::EndSpan(int32_t index) {
+  if (index < 0) return;  // dropped at Begin (span cap)
+  const int64_t now = MonotonicNowNs();
+  // Normal case: exact LIFO. Defensive: if an inner span was leaked open,
+  // close everything above `index` with the same timestamp so the stack
+  // stays consistent.
+  while (!open_.empty()) {
+    const int32_t top = open_.back();
+    open_.pop_back();
+    spans_[top].end_ns = now;
+    if (top == index) break;
+  }
+}
+
+void TraceContext::Close() {
+  const int64_t now = MonotonicNowNs();
+  while (!open_.empty()) {
+    spans_[open_.back()].end_ns = now;
+    open_.pop_back();
+  }
+  if (end_ns_ == 0) end_ns_ = now;
+}
+
+}  // namespace mdatalog::telemetry

@@ -18,6 +18,10 @@ inline int32_t Popcount64(uint64_t w) {
 /// Index of the lowest set bit of `w`. w must be nonzero.
 inline int32_t Ctz64(uint64_t w) { return std::countr_zero(w); }
 
+/// Number of leading zero bits of `w`. w must be nonzero (the telemetry
+/// histogram bucketing guards the zero case before calling).
+inline int32_t CountLeadingZeros64(uint64_t w) { return std::countl_zero(w); }
+
 /// Smallest power of two >= v, for shard counts and sketch sizes. Inputs are
 /// clamped to [1, 2^30] — beyond that the doubling loop would overflow
 /// (signed UB), and no cache legitimately wants a billion shards.

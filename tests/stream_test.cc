@@ -418,6 +418,7 @@ TEST(StreamSessionTest, EmitsResultsBeforeEndOfInput) {
   EXPECT_GE(emitted_during_feed, before_finish);
   EXPECT_EQ(*xml, *rt.Wrap(*handle, page));
   EXPECT_EQ(rt.stats().stream_sessions, 1);
+  EXPECT_EQ(rt.stats().stream_sessions_failed, 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -462,6 +463,7 @@ TEST(StreamDeadlineTest, MillisecondDeadlineKillsMultiMegabyteSession) {
     // The millisecond elapsed before the session even opened (slow machine):
     // still the typed failure, still counted.
     EXPECT_EQ(session.status().code(), util::StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(rt.stats().stream_sessions_failed, 1);
     return;
   }
   // Keep feeding multi-MB chunks; the deadline must fire with a typed status
@@ -476,6 +478,10 @@ TEST(StreamDeadlineTest, MillisecondDeadlineKillsMultiMegabyteSession) {
   EXPECT_EQ((*session)->Finish().status().code(),
             util::StatusCode::kDeadlineExceeded);
   EXPECT_GE(rt.stats().deadline_exceeded, 1);
+  // A deadline-killed session is a failed one, never a success — and the
+  // latched repeats above must not double-count it.
+  EXPECT_EQ(rt.stats().stream_sessions, 0);
+  EXPECT_EQ(rt.stats().stream_sessions_failed, 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -497,6 +503,10 @@ TEST(StreamSessionTest, EmptyAndContentFreeInputsFailLikeBatch) {
     EXPECT_EQ(rt.Wrap(*handle, page).status().code(),
               util::StatusCode::kInvalidArgument);
   }
+  // Parse-level failures count as failed sessions (batch Wrap failures on
+  // the same bytes do not touch the stream counters).
+  EXPECT_EQ(rt.stats().stream_sessions, 0);
+  EXPECT_EQ(rt.stats().stream_sessions_failed, 2);
 }
 
 TEST(StreamSessionTest, FeedAfterFinishFails) {
@@ -511,6 +521,28 @@ TEST(StreamSessionTest, FeedAfterFinishFails) {
             util::StatusCode::kFailedPrecondition);
   EXPECT_EQ((*session)->Finish().status().code(),
             util::StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamSessionTest, PeakMemoryObservability) {
+  const std::string page = CatalogPage(33, 25);
+  runtime::WrapperRuntime rt;
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+  auto session = rt.SubmitStream(*handle, {});
+  ASSERT_TRUE(session.ok());
+  for (const std::string& chunk : FixedChunks(page, 97)) {
+    ASSERT_TRUE((*session)->Feed(chunk).ok());
+  }
+  ASSERT_TRUE((*session)->Finish().ok());
+  // The open-node high-water mark tracks nesting depth, not page length: a
+  // flat catalog page holds only its current ancestor chain open.
+  EXPECT_GT((*session)->peak_live_nodes(), 0);
+  EXPECT_LT((*session)->peak_live_nodes(), 64);
+  EXPECT_GT((*session)->peak_edb_bytes(), 0);
+  // The session's peaks survive it as registry gauges.
+  const std::string prom = rt.ExportPrometheus();
+  EXPECT_NE(prom.find("mdatalog_stream_peak_live_nodes"), std::string::npos);
+  EXPECT_NE(prom.find("mdatalog_stream_peak_edb_bytes"), std::string::npos);
 }
 
 TEST(StreamSessionTest, DeltaProgramFallsBackButStillStreamsTheParse) {
@@ -576,6 +608,7 @@ TEST(StreamConcurrencyTest, ParallelSessionsOnOneRuntimeAgreeWithBatch) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(got, expected);
   EXPECT_EQ(rt.stats().stream_sessions, kThreads);
+  EXPECT_EQ(rt.stats().stream_sessions_failed, 0);
 }
 
 }  // namespace
