@@ -45,6 +45,18 @@ wrapper::Wrapper CatalogWrapper() {
   return w;
 }
 
+/// One borrowed-page Request per mix entry (the mix outlives the join).
+std::vector<runtime::Request> ViewBatch(
+    const runtime::WrapperHandle& handle,
+    const std::vector<std::string>& pages) {
+  std::vector<runtime::Request> requests;
+  requests.reserve(pages.size());
+  for (const std::string& page : pages) {
+    requests.push_back({runtime::PageRef::View(page), handle, {}});
+  }
+  return requests;
+}
+
 std::string Page(uint64_t seed, int32_t items) {
   util::Rng rng(seed);
   html::CatalogOptions opts;
@@ -87,10 +99,10 @@ int64_t HotSetBudget() {
 void BM_HotColdMix(benchmark::State& state) {
   runtime::RuntimeOptions opts;
   opts.num_threads = 8;
-  opts.document_cache_bytes = HotSetBudget();
-  opts.document_cache_shards = static_cast<int32_t>(state.range(0));
-  opts.cache_admission = state.range(1) != 0;
-  opts.result_memo_bytes = 0;  // exercise the document cache, not the memo
+  opts.document_cache.byte_budget = HotSetBudget();
+  opts.document_cache.num_shards = static_cast<int32_t>(state.range(0));
+  opts.document_cache.tinylfu_admission = state.range(1) != 0;
+  opts.result_memo.byte_budget = 0;  // exercise the document cache, not the memo
   runtime::WrapperRuntime rt(opts);
   auto handle = rt.Register(CatalogWrapper(), "class");
   MD_CHECK(handle.ok());
@@ -99,13 +111,13 @@ void BM_HotColdMix(benchmark::State& state) {
   // Warm-up: populates the cache and (with admission on) teaches the sketch
   // which pages are hot.
   {
-    auto warm = rt.RunBatch(*handle, mix);
+    auto warm = rt.SubmitBatch(ViewBatch(*handle, mix));
     for (const auto& r : warm) MD_CHECK(r.ok());
   }
 
   int64_t pages = 0;
   for (auto _ : state) {
-    auto results = rt.RunBatch(*handle, mix);
+    auto results = rt.SubmitBatch(ViewBatch(*handle, mix));
     MD_CHECK(results.size() == mix.size());
     for (const auto& r : results) MD_CHECK(r.ok());
     benchmark::DoNotOptimize(results);

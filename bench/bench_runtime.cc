@@ -45,6 +45,19 @@ wrapper::Wrapper CatalogWrapper() {
   return w;
 }
 
+/// One borrowed-page Request per corpus entry (the corpus outlives the
+/// SubmitBatch join).
+std::vector<runtime::Request> ViewBatch(
+    const runtime::WrapperHandle& handle,
+    const std::vector<std::string>& pages) {
+  std::vector<runtime::Request> requests;
+  requests.reserve(pages.size());
+  for (const std::string& page : pages) {
+    requests.push_back({runtime::PageRef::View(page), handle, {}});
+  }
+  return requests;
+}
+
 /// 1000 requests over 125 distinct pages, round-robin (each distinct page is
 /// served 8 times, interleaved — no two consecutive requests share a page).
 const std::vector<std::string>& Corpus() {
@@ -97,8 +110,8 @@ BENCHMARK(BM_ServeCorpusColdDirect)
 void BM_ServeCorpusRuntime(benchmark::State& state) {
   runtime::RuntimeOptions opts;
   opts.num_threads = static_cast<int32_t>(state.range(0));
-  opts.result_memo_bytes = state.range(1) != 0 ? (64 << 20) : 0;
-  opts.document_cache_bytes = 256 << 20;
+  opts.result_memo.byte_budget = state.range(1) != 0 ? (64 << 20) : 0;
+  opts.document_cache.byte_budget = 256 << 20;
   runtime::WrapperRuntime rt(opts);
   auto handle = rt.Register(CatalogWrapper(), "class");
   MD_CHECK(handle.ok());
@@ -108,7 +121,7 @@ void BM_ServeCorpusRuntime(benchmark::State& state) {
   // asserts the runtime output is byte-identical to the direct sequential
   // path — the bench must not get fast by getting wrong.
   {
-    auto warm = rt.RunBatch(*handle, corpus);
+    auto warm = rt.SubmitBatch(ViewBatch(*handle, corpus));
     for (size_t i = 0; i < corpus.size(); ++i) {
       MD_CHECK(warm[i].ok());
       if (i < kDistinctPages) {
@@ -123,7 +136,7 @@ void BM_ServeCorpusRuntime(benchmark::State& state) {
 
   int64_t pages = 0;
   for (auto _ : state) {
-    auto results = rt.RunBatch(*handle, corpus);
+    auto results = rt.SubmitBatch(ViewBatch(*handle, corpus));
     MD_CHECK(results.size() == corpus.size());
     for (const auto& r : results) MD_CHECK(r.ok());
     benchmark::DoNotOptimize(results);

@@ -142,7 +142,7 @@ void ServeFirstTouch(benchmark::State& state, bool with_store) {
     // A fresh runtime per round: every page is a first touch (in-memory
     // miss); with_store decides whether the miss parses or rehydrates.
     runtime::RuntimeOptions opts;
-    opts.result_memo_bytes = 0;
+    opts.result_memo.byte_budget = 0;
     if (with_store) opts.corpus_store = Store();
     runtime::WrapperRuntime rt(opts);
     auto handle = rt.Register(w, kAttr);

@@ -73,8 +73,8 @@ double PeakRssMb() {
 runtime::WrapperRuntime& CacheFreeRuntime() {
   static runtime::WrapperRuntime* rt = [] {
     runtime::RuntimeOptions options;
-    options.document_cache_bytes = 0;
-    options.result_memo_bytes = 0;
+    options.document_cache.byte_budget = 0;
+    options.result_memo.byte_budget = 0;
     return new runtime::WrapperRuntime(options);
   }();
   return *rt;
@@ -111,7 +111,7 @@ void BM_StreamFirstResult(benchmark::State& state) {
     options.on_result = [&got_first](const stream::StreamResult&) {
       got_first = true;
     };
-    auto session = rt.SubmitStream(*handle, std::move(options));
+    auto session = rt.SubmitStream({.wrapper = *handle}, std::move(options));
     MD_CHECK(session.ok());
     size_t fed = 0;
     while (!got_first && fed < page.size()) {
@@ -146,7 +146,7 @@ void BM_StreamFullPage(benchmark::State& state) {
     options.on_result = [&emitted](const stream::StreamResult&) {
       ++emitted;
     };
-    auto session = rt.SubmitStream(*handle, std::move(options));
+    auto session = rt.SubmitStream({.wrapper = *handle}, std::move(options));
     MD_CHECK(session.ok());
     for (size_t fed = 0; fed < page.size(); fed += kChunk) {
       MD_CHECK((*session)

@@ -77,8 +77,8 @@ void BM_WrapTelemetry(benchmark::State& state) {
   const bool enabled = state.range(0) != 0;
   runtime::RuntimeOptions opts;
   opts.num_threads = 1;
-  opts.result_memo_bytes = 0;  // every request runs the full pipeline
-  opts.document_cache_bytes = 256 << 20;
+  opts.result_memo.byte_budget = 0;  // every request runs the full pipeline
+  opts.document_cache.byte_budget = 256 << 20;
   opts.telemetry.enabled = enabled;
   opts.telemetry.trace_sample_every = 1;  // trace every request
   runtime::WrapperRuntime rt(opts);

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Runs the benchmark suites and writes BENCH_eval.json, BENCH_runtime.json,
 # BENCH_admission.json, BENCH_store.json, BENCH_stream.json,
-# BENCH_analysis.json and BENCH_telemetry.json at the repo root
-# (google-benchmark's --benchmark_format=json), so the perf trajectory is
-# tracked across PRs.
+# BENCH_analysis.json, BENCH_telemetry.json and BENCH_qos.json at the repo
+# root (google-benchmark's --benchmark_format=json), so the perf trajectory
+# is tracked across PRs.
 #
 # Usage: bench/run_benches.sh [build_dir] [benchmark_filter]
 #   build_dir         defaults to ./build (configured+built already, or this
@@ -23,7 +23,7 @@ if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
 fi
 cmake --build "${BUILD_DIR}" --target bench_eval_linear bench_runtime \
   bench_admission bench_store bench_stream bench_analysis bench_telemetry \
-  -j"$(nproc)"
+  bench_qos -j"$(nproc)"
 
 "${BUILD_DIR}/bench_eval_linear" \
   --benchmark_filter="${FILTER}" \
@@ -100,3 +100,16 @@ echo "wrote ${REPO_ROOT}/BENCH_analysis.json"
   --benchmark_out_format=json
 
 echo "wrote ${REPO_ROOT}/BENCH_telemetry.json"
+
+# Multi-tenant QoS: hot-set serving under a cold-flood adversary, with and
+# without fair-share protection. CI gates the intra-run pair — protected
+# hot-serve must stay within 10% of the undisturbed baseline
+# (check_bench_regression.py --overhead-pair).
+"${BUILD_DIR}/bench_qos" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_qos.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_qos.json"

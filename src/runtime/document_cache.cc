@@ -1,9 +1,7 @@
 #include "src/runtime/document_cache.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "src/util/bits.h"
 #include "src/util/check.h"
 
 namespace mdatalog::runtime {
@@ -47,38 +45,24 @@ std::shared_ptr<const CachedDocument> CachedDocument::FromFrozen(
 uint64_t DocumentCache::KeyHash64(const Hash128& content_hash,
                                   const std::string& attr) {
   // Both 128-bit halves plus the projection attribute: entries that differ
-  // only in projection must shard/sketch independently.
-  uint64_t h = content_hash.lo * 1099511628211ULL ^ content_hash.hi;
-  if (!attr.empty()) h ^= HashBytes(attr);
-  return util::Mix64(h);
+  // only in projection must shard/sketch independently. Keyed SipHash, not a
+  // public mix of the stable content hash — shard routing and sketch rows
+  // must not be precomputable by a tenant that controls the page bytes.
+  util::SipHasher h;
+  h.Update64(content_hash.lo);
+  h.Update64(content_hash.hi);
+  h.Update(attr);
+  return h.Finish();
+}
+
+int64_t DocumentCache::DocumentCost(const Key& /*key*/,
+                                    const CachedDocument& doc) {
+  return doc.ApproxBytes();
 }
 
 DocumentCache::DocumentCache(const DocumentCacheOptions& options)
-    : byte_budget_(options.byte_budget),
-      shard_byte_budget_(
-          options.byte_budget <= 0
-              ? 0
-              : std::max<int64_t>(options.byte_budget /
-                                      util::RoundUpPow2(options.num_shards),
-                                  1)),
-      corpus_store_(options.corpus_store) {
-  const int32_t n = util::RoundUpPow2(options.num_shards);
-  shard_mask_ = static_cast<uint64_t>(n - 1);
-  shards_.reserve(n);
-  for (int32_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>();
-    if (options.tinylfu_admission) {
-      int32_t counters = options.sketch_counters;
-      if (counters <= 0) {
-        // ~8-16x the expected resident entries; documents run ~64KB.
-        counters = static_cast<int32_t>(std::clamp<int64_t>(
-            shard_byte_budget_ / (64 << 10) * 16, 1024, 1 << 20));
-      }
-      shard->lfu.emplace(counters);
-    }
-    shards_.push_back(std::move(shard));
-  }
-}
+    : cache_(options.cache, &DocumentCost, options.tenants),
+      corpus_store_(options.corpus_store) {}
 
 util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     std::string_view html, const std::string& project_attr) {
@@ -87,80 +71,43 @@ util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
 
 util::Result<std::shared_ptr<const CachedDocument>> DocumentCache::GetOrParse(
     std::string_view html, const std::string& project_attr,
-    const Hash128& content_hash, telemetry::TraceSpan* span) {
+    const Hash128& content_hash, telemetry::TraceSpan* span,
+    TenantId tenant) {
   Key key{content_hash, project_attr};
   const uint64_t key_hash = KeyHash64(content_hash, project_attr);
-  Shard& shard = ShardFor(key_hash);
 
-  if (byte_budget_ <= 0) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.misses;
-    // fall through to an uncached parse below (outside the lock)
-  } else {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.lfu.has_value()) shard.lfu->RecordAccess(key_hash);
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      ++shard.hits;
-      if (span != nullptr) span->Tag("hit");
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      RefreshChargeAndEvict(shard, shard.lru.begin());
-      return it->second->doc;
-    }
-    ++shard.misses;
+  if (auto doc = cache_.Lookup(key, key_hash, tenant); doc != nullptr) {
+    if (span != nullptr) span->Tag("hit");
+    return doc;
   }
 
-  // Prepare outside the lock: parsing (or store rehydration) is the
+  // Prepare outside the shard lock: parsing (or store rehydration) is the
   // expensive part, and concurrent misses on *different* documents must not
   // serialize. Concurrent misses on the same document may prepare twice; the
-  // second admission wins the map slot and the first copy dies with its
-  // callers — wasteful but correct. store_hits is booked only once the
-  // locally-prepared document is actually served (below): a rehydration that
-  // loses the insert race is discarded work, and counting it would
-  // double-count the page against a concurrent preparer of the same hash.
+  // second insert loses the map slot and its copy dies with its callers —
+  // wasteful but correct. store_hits is booked only once the locally-
+  // prepared document is actually served (below): a rehydration that loses
+  // the insert race is discarded work, and counting it would double-count
+  // the page against a concurrent preparer of the same hash.
   bool from_store = false;
   MD_ASSIGN_OR_RETURN(
       std::shared_ptr<const CachedDocument> doc,
       PrepareDocument(html, project_attr, content_hash, &from_store));
   if (span != nullptr) span->Tag(from_store ? "store" : "parse");
-  if (byte_budget_ <= 0) {
+  if (!cache_.enabled()) {
     if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
     return doc;
   }
 
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    // Lost the parse race; serve the admitted copy (our own preparation is
+  auto outcome = cache_.Insert(key, key_hash, std::move(doc), tenant);
+  if (outcome.raced) {
+    // Lost the parse race; serve the resident copy (our own preparation is
     // discarded, so it must not appear in the store_hits accounting).
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->doc;
+    return outcome.value;
   }
   if (from_store) store_hits_.fetch_add(1, std::memory_order_relaxed);
-  const int64_t candidate_bytes = doc->ApproxBytes();
-  if (shard.lfu.has_value()) {
-    // TinyLFU admission: the candidate may only displace resident entries it
-    // out-ranks in the frequency sketch. Ties reject (churn protection — a
-    // stream of equally-cold keys must not rotate the shard).
-    while (shard.bytes_in_use + candidate_bytes > shard_byte_budget_ &&
-           !shard.lru.empty()) {
-      if (!shard.lfu->Admit(key_hash, shard.lru.back().key_hash)) {
-        ++shard.admission_rejects;
-        if (span != nullptr) span->Value("admitted", 0);
-        return doc;  // served uncached; the resident set stays intact
-      }
-      EvictBack(shard);
-    }
-  }
-  shard.lru.push_front(Entry{key, key_hash, doc, candidate_bytes});
-  shard.index.emplace(key, shard.lru.begin());
-  shard.bytes_in_use += candidate_bytes;
-  // Plain-LRU path (and the oversized-candidate case): trim the tail, never
-  // the entry just inserted.
-  while (shard.bytes_in_use > shard_byte_budget_ && shard.lru.size() > 1) {
-    EvictBack(shard);
-  }
-  return doc;
+  if (!outcome.admitted && span != nullptr) span->Value("admitted", 0);
+  return outcome.value;
 }
 
 util::Result<std::shared_ptr<const CachedDocument>>
@@ -188,49 +135,23 @@ DocumentCache::PrepareDocument(std::string_view html,
 
 void DocumentCache::Recharge(const Hash128& content_hash,
                              const std::string& project_attr) {
-  if (byte_budget_ <= 0) return;
   Key key{content_hash, project_attr};
-  const uint64_t key_hash = KeyHash64(content_hash, project_attr);
-  Shard& shard = ShardFor(key_hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) return;
-  RefreshChargeAndEvict(shard, it->second);
-}
-
-void DocumentCache::RefreshChargeAndEvict(Shard& shard,
-                                          std::list<Entry>::iterator it) {
-  const int64_t fresh = it->doc->ApproxBytes();
-  shard.bytes_in_use += fresh - it->charged_bytes;
-  it->charged_bytes = fresh;
-  while (shard.bytes_in_use > shard_byte_budget_ && shard.lru.size() > 1 &&
-         std::prev(shard.lru.end()) != it) {
-    EvictBack(shard);
-  }
-}
-
-void DocumentCache::EvictBack(Shard& shard) {
-  Entry& victim = shard.lru.back();
-  shard.bytes_in_use -= victim.charged_bytes;
-  ++shard.evictions;
-  shard.index.erase(victim.key);
-  shard.lru.pop_back();
+  cache_.Recharge(key, KeyHash64(content_hash, project_attr));
 }
 
 DocumentCacheStats DocumentCache::stats() const {
+  const ShardedCacheStats s = cache_.stats();
   DocumentCacheStats out;
-  out.byte_budget = byte_budget_;
-  out.shards = static_cast<int32_t>(shards_.size());
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.evictions = s.evictions;
+  out.admission_rejects = s.admission_rejects;
+  out.fair_share_rejects = s.fair_share_rejects;
   out.store_hits = store_hits_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    out.hits += shard->hits;
-    out.misses += shard->misses;
-    out.evictions += shard->evictions;
-    out.admission_rejects += shard->admission_rejects;
-    out.bytes_in_use += shard->bytes_in_use;
-    out.entries += static_cast<int32_t>(shard->lru.size());
-  }
+  out.bytes_in_use = s.bytes_in_use;
+  out.byte_budget = s.byte_budget;
+  out.entries = s.entries;
+  out.shards = s.shards;
   return out;
 }
 

@@ -1,20 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <vector>
-
-#include <atomic>
 
 #include "src/core/database.h"
 #include "src/html/parser.h"
-#include "src/runtime/admission.h"
+#include "src/runtime/sharded_lfu_cache.h"
+#include "src/runtime/tenant.h"
 #include "src/store/corpus_store.h"
 #include "src/telemetry/trace.h"
 #include "src/tree/tree.h"
@@ -30,13 +26,11 @@
 /// EDB materializations — between all concurrent queries, keyed by content
 /// hash.
 ///
-/// Production hardening (vs the original single-mutex LRU):
-///  * the store is sharded N ways by key hash — shared-nothing per-shard
-///    mutexes and per-shard byte budgets, so a hot document serializes only
-///    its own shard, never unrelated workers;
-///  * admission is TinyLFU (admission.h): a candidate only displaces the LRU
-///    victim when the frequency sketch ranks it more popular, so one-hit
-///    scan traffic cannot evict the hot working set.
+/// The sharding / TinyLFU / byte-budget / fair-share machinery lives in
+/// ShardedLfuCache (sharded_lfu_cache.h — one template shared with the
+/// result memo); this file adds what is document-specific: parsing,
+/// attribute projection, the corpus-store second level, and the SipHash key
+/// derivation over (content hash, projection attribute).
 
 namespace mdatalog::runtime {
 
@@ -106,23 +100,18 @@ class CachedDocument {
 };
 
 struct DocumentCacheOptions {
-  /// Total byte budget, split evenly across shards; 0 disables caching.
-  int64_t byte_budget = 64 << 20;
-  /// Shard count, rounded up to a power of two (1 = the original
-  /// single-mutex behavior). Default 8: enough that 8 workers hammering one
-  /// hot page rarely collide with unrelated traffic.
-  int32_t num_shards = 8;
-  /// TinyLFU admission (scan resistance). false = plain LRU: every miss is
-  /// admitted, evicting from the tail — the pre-hardening behavior.
-  bool tinylfu_admission = true;
-  /// Counters per shard sketch; 0 = auto (derived from the shard budget,
-  /// assuming ~64KB documents, clamped to [1024, 1M]).
-  int32_t sketch_counters = 0;
+  /// The shared cache-tuning block (sharded_lfu_cache.h). Defaults match the
+  /// pre-CacheOptions document cache: 64MB over 8 shards, TinyLFU on,
+  /// sketch auto-sized for ~64KB documents.
+  CacheOptions cache{.byte_budget = 64 << 20};
   /// Second-level cache: an open corpus store consulted on every in-memory
   /// miss before falling back to parsing. A store hit costs an mmap-backed
   /// blob validation instead of an HTML parse; a corrupt blob (DataLoss)
   /// silently falls through to the parse path. May be null.
   std::shared_ptr<const store::CorpusStore> corpus_store = nullptr;
+  /// Tenant registry for fair-share eviction protection and per-tenant
+  /// accounting; null = single-tenant behavior. Must outlive the cache.
+  const TenantRegistry* tenants = nullptr;
 };
 
 struct DocumentCacheStats {
@@ -131,6 +120,9 @@ struct DocumentCacheStats {
   int64_t evictions = 0;
   /// Misses parsed but denied a cache slot by TinyLFU (served uncached).
   int64_t admission_rejects = 0;
+  /// Misses denied a slot because every scannable victim was fair-share
+  /// protected (served uncached).
+  int64_t fair_share_rejects = 0;
   /// In-memory misses served from the corpus store instead of a parse.
   int64_t store_hits = 0;
   int64_t bytes_in_use = 0;
@@ -139,22 +131,16 @@ struct DocumentCacheStats {
   int32_t shards = 0;
 };
 
-/// Content-addressed, sharded document cache with byte-budget accounting and
-/// TinyLFU admission.
+/// Content-addressed document cache: a ShardedLfuCache over (128-bit content
+/// hash, projection attribute) keys — two wrappers with different
+/// projections see different trees and must not share an entry — plus the
+/// corpus-store second level.
 ///
-/// Key: (128-bit content hash of the HTML bytes, projection attribute) — two
-/// wrappers with different projections see different trees and must not
-/// share an entry. The key hash picks the shard; each shard is an
-/// independent LRU under byte_budget/num_shards with its own mutex and
-/// frequency sketch (shared-nothing: no cross-shard locks anywhere).
-///
-/// Eviction: least-recently-used entries of the shard are dropped until its
-/// budget holds again; the entry just touched is never evicted (a single
-/// oversized document is served but not retained beside other entries).
-/// Admission: on a miss that would overflow the shard, the candidate must
-/// out-rank the LRU victim in the frequency sketch or it is served uncached
-/// (admission_rejects). Evicted documents stay alive as long as in-flight
-/// queries hold their shared_ptr.
+/// The cache key hash is keyed SipHash (per-process random key), so an
+/// untrusted tenant cannot precompute pages that collide into one shard or
+/// alias another tenant's sketch counters. The unkeyed Hash128 content hash
+/// (stable, persisted by the corpus store) identifies the page; SipHash only
+/// decides in-memory placement.
 ///
 /// Thread safety: all public methods are safe to call concurrently.
 class DocumentCache {
@@ -162,7 +148,8 @@ class DocumentCache {
   explicit DocumentCache(const DocumentCacheOptions& options);
   /// Convenience: default sharding/admission at the given budget.
   explicit DocumentCache(int64_t byte_budget)
-      : DocumentCache(DocumentCacheOptions{.byte_budget = byte_budget}) {}
+      : DocumentCache(
+            DocumentCacheOptions{.cache = {.byte_budget = byte_budget}}) {}
 
   /// Returns the shared document for `html`, parsing it on miss (and
   /// admitting it if the shard's admission policy agrees). A byte_budget of
@@ -175,10 +162,12 @@ class DocumentCache {
   /// `content_hash` must equal HashBytes128(html). `span`, when non-null, is
   /// the caller's open trace span for this lookup: it is tagged with the
   /// outcome ("hit", "store", "parse", or "uncached") and carries
-  /// admitted=0 when TinyLFU denies the prepared document a slot.
+  /// admitted=0 when admission denies the prepared document a slot.
+  /// `tenant` pays for the entry's bytes and is the fair-share principal.
   util::Result<std::shared_ptr<const CachedDocument>> GetOrParse(
       std::string_view html, const std::string& project_attr,
-      const Hash128& content_hash, telemetry::TraceSpan* span = nullptr);
+      const Hash128& content_hash, telemetry::TraceSpan* span = nullptr,
+      TenantId tenant = kDefaultTenant);
 
   /// Re-reads the entry's ApproxBytes and re-balances its shard. Call after
   /// an evaluation that may have materialized EDB relations: the byte charge
@@ -190,8 +179,12 @@ class DocumentCache {
 
   /// Aggregated over all shards.
   DocumentCacheStats stats() const;
+  /// One tenant's slice (hits/misses/resident bytes/fair-share rejects).
+  TenantCacheStats tenant_stats(TenantId tenant) const {
+    return cache_.tenant_stats(tenant);
+  }
 
-  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+  int32_t num_shards() const { return cache_.num_shards(); }
 
  private:
   struct Key {
@@ -199,43 +192,17 @@ class DocumentCache {
     std::string attr;
     bool operator==(const Key&) const = default;
   };
-  struct KeyHash {
+  struct KeyHasher {
     size_t operator()(const Key& k) const {
-      return static_cast<size_t>(k.content_hash.lo * 1099511628211ULL ^
-                                 k.content_hash.hi) ^
-             std::hash<std::string>{}(k.attr);
+      return static_cast<size_t>(KeyHash64(k.content_hash, k.attr));
     }
   };
-  struct Entry {
-    Key key;
-    uint64_t key_hash = 0;  // sketch key (also the shard router input)
-    std::shared_ptr<const CachedDocument> doc;
-    int64_t charged_bytes = 0;
-  };
-  struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    std::optional<TinyLfuAdmission> lfu;  // engaged iff tinylfu_admission
-    int64_t bytes_in_use = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t evictions = 0;
-    int64_t admission_rejects = 0;
-  };
 
+  /// Keyed SipHash over both content-hash halves plus the projection
+  /// attribute: shard router, sketch key and bucket hash in one value.
   static uint64_t KeyHash64(const Hash128& content_hash,
                             const std::string& attr);
-  Shard& ShardFor(uint64_t key_hash) {
-    return *shards_[(key_hash >> 32) & shard_mask_];
-  }
-
-  /// Requires shard.mu held. Re-reads `it`'s ApproxBytes (EDB
-  /// materializations grow after admission) and evicts LRU entries other
-  /// than `it` until the shard budget holds.
-  void RefreshChargeAndEvict(Shard& shard, std::list<Entry>::iterator it);
-  /// Requires shard.mu held. Drops the LRU tail entry.
-  void EvictBack(Shard& shard);
+  static int64_t DocumentCost(const Key& key, const CachedDocument& doc);
 
   /// Prepares a document for `html` without parsing if the corpus store has
   /// it; falls back to CachedDocument::Parse. Called outside shard locks.
@@ -247,10 +214,7 @@ class DocumentCache {
       std::string_view html, const std::string& project_attr,
       const Hash128& content_hash, bool* from_store);
 
-  const int64_t byte_budget_;        // total, across shards
-  const int64_t shard_byte_budget_;  // per shard
-  uint64_t shard_mask_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardedLfuCache<Key, CachedDocument, KeyHasher> cache_;
   std::shared_ptr<const store::CorpusStore> corpus_store_;  // may be null
   mutable std::atomic<int64_t> store_hits_{0};
 };

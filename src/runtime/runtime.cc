@@ -1,6 +1,5 @@
 #include "src/runtime/runtime.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "src/core/eval.h"
@@ -9,7 +8,6 @@
 #include "src/telemetry/export.h"
 #include "src/telemetry/trace.h"
 #include "src/tree/serialize.h"
-#include "src/util/bits.h"
 #include "src/util/check.h"
 
 namespace mdatalog::runtime {
@@ -17,21 +15,17 @@ namespace mdatalog::runtime {
 WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
     : options_(options),
       telemetry_(options.telemetry),
+      tenants_(&telemetry_.registry(), options.qos),
       programs_(options.program_cache_capacity,
                 options.canonical_program_keys),
-      documents_(DocumentCacheOptions{
-          .byte_budget = options.document_cache_bytes,
-          .num_shards = options.document_cache_shards,
-          .tinylfu_admission = options.cache_admission,
-          .corpus_store = options.corpus_store,
-      }),
-      memo_shard_bytes_(
-          options.result_memo_bytes <= 0
-              ? 0
-              : std::max<int64_t>(
-                    options.result_memo_bytes /
-                        util::RoundUpPow2(options.result_memo_shards),
-                    1)),
+      documents_([&] {
+        DocumentCacheOptions doc_options;
+        doc_options.cache = options.document_cache;
+        doc_options.corpus_store = options.corpus_store;
+        doc_options.tenants = &tenants_;
+        return doc_options;
+      }()),
+      memo_(options.result_memo, &MemoCost, &tenants_),
       pages_wrapped_(
           telemetry_.registry().GetCounter("runtime.pages_wrapped")),
       grounded_evals_(
@@ -42,24 +36,15 @@ WrapperRuntime::WrapperRuntime(const RuntimeOptions& options)
       deadline_exceeded_(
           telemetry_.registry().GetCounter("runtime.deadline_exceeded")),
       cancelled_(telemetry_.registry().GetCounter("runtime.cancelled")),
+      degraded_(telemetry_.registry().GetCounter("runtime.degraded")),
       stream_sessions_(
           telemetry_.registry().GetCounter("runtime.stream_sessions")),
       stream_sessions_failed_(
           telemetry_.registry().GetCounter("runtime.stream_sessions_failed")),
       pool_(options.num_threads) {
-  const int32_t n = util::RoundUpPow2(options.result_memo_shards);
-  memo_shard_mask_ = static_cast<uint64_t>(n - 1);
-  memo_shards_.reserve(n);
-  for (int32_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<MemoShard>();
-    if (options.cache_admission && options.result_memo_bytes > 0) {
-      // Memo entries are small (one XML string); size the sketch at ~16x the
-      // resident count assuming ~4KB entries.
-      shard->lfu.emplace(static_cast<int32_t>(std::clamp<int64_t>(
-          memo_shard_bytes_ / (4 << 10) * 16, 1024, 1 << 20)));
-    }
-    memo_shards_.push_back(std::move(shard));
-  }
+  // Option-listed tenants register before any request, in listed order —
+  // deterministic ids 1, 2, … that callers can keep by index.
+  for (const TenantQuota& quota : options.tenants) tenants_.Register(quota);
 }
 
 WrapperRuntime::~WrapperRuntime() = default;
@@ -75,13 +60,19 @@ util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
                                                std::string_view html,
                                                const RequestOptions& request) {
   MD_CHECK(handle.program != nullptr);
-  const util::EvalControl control(request.deadline, request.cancel.get());
+  // QoS admission: counts the request, refills the tenant's token bucket and
+  // — when over quota — tightens the deadline to the tenant's priority cap.
+  // Over quota never rejects; it shrinks the service level.
+  const RequestAdmission admission =
+      tenants_.Admit(request.tenant, request.deadline);
+  if (admission.degraded) degraded_->Add(1);
+  const util::EvalControl control(admission.deadline, request.cancel.get());
   // Fast-fail before any work: a request that arrives already past its
   // deadline (queue delay) must not hash or parse anything.
   if (!control.unbounded()) {
     util::Status s = control.Check();
     if (!s.ok()) {
-      CountFailure(s);
+      CountFailure(s, request.tenant);
       return s;
     }
   }
@@ -99,7 +90,16 @@ util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
     trace->set_page_bytes(static_cast<int64_t>(html.size()));
   }
 
-  util::Result<std::string> xml = WrapImpl(handle, html, control, trace);
+  // CPU metering: clock reads only for metered tenants — the default tenant
+  // and unmetered tenants skip both reads entirely.
+  const bool metered = tenants_.metered(request.tenant);
+  const int64_t eval_start = metered ? telemetry::MonotonicNowNs() : 0;
+  util::Result<std::string> xml =
+      WrapImpl(handle, html, control, trace, request.tenant);
+  if (metered) {
+    tenants_.ChargeCpu(request.tenant,
+                       telemetry::MonotonicNowNs() - eval_start);
+  }
   const util::StatusCode code =
       xml.ok() ? util::StatusCode::kOk : xml.status().code();
   if (owned != nullptr) {
@@ -113,7 +113,8 @@ util::Result<std::string> WrapperRuntime::Wrap(const WrapperHandle& handle,
 
 util::Result<std::string> WrapperRuntime::WrapImpl(
     const WrapperHandle& handle, std::string_view html,
-    const util::EvalControl& control, telemetry::TraceContext* trace) {
+    const util::EvalControl& control, telemetry::TraceContext* trace,
+    TenantId tenant) {
   // One content hash per request, shared by the memo key and the document
   // cache key — the page bytes are scanned exactly once.
   Hash128 content_hash;
@@ -126,12 +127,18 @@ util::Result<std::string> WrapperRuntime::WrapImpl(
   const uint64_t memo_hash = MemoKeyHash64(key);
   {
     telemetry::TraceSpan span(trace, "memo.lookup");
-    if (std::shared_ptr<const std::string> memoized =
-            MemoLookup(key, memo_hash)) {
-      span.Tag("hit");
-      return *memoized;
+    // enabled() guard: a disabled memo books nothing (tag "off"), exactly
+    // like the pre-template memo.
+    if (memo_.enabled()) {
+      if (auto memoized = memo_.Lookup(key, memo_hash, tenant)) {
+        span.Tag("hit");
+        tenants_.counters(tenant)->memo_hits->Add(1);
+        return *memoized;
+      }
+      span.Tag("miss");
+    } else {
+      span.Tag("off");
     }
-    span.Tag(options_.result_memo_bytes > 0 ? "miss" : "off");
   }
 
   std::shared_ptr<const CachedDocument> doc;
@@ -139,7 +146,7 @@ util::Result<std::string> WrapperRuntime::WrapImpl(
     telemetry::TraceSpan span(trace, "doc.fetch");
     MD_ASSIGN_OR_RETURN(doc,
                         documents_.GetOrParse(html, handle.project_attr,
-                                              content_hash, &span));
+                                              content_hash, &span, tenant));
   }
   if (trace != nullptr) trace->set_nodes(doc->tree().size());
 
@@ -154,13 +161,14 @@ util::Result<std::string> WrapperRuntime::WrapImpl(
     documents_.Recharge(content_hash, handle.project_attr);
   }
   if (!xml.ok()) {
-    CountFailure(xml.status());
+    CountFailure(xml.status(), tenant);
     return xml.status();
   }
+  tenants_.counters(tenant)->pages_wrapped->Add(1);
   auto shared = std::make_shared<const std::string>(*std::move(xml));
-  {
+  if (memo_.enabled()) {
     telemetry::TraceSpan span(trace, "memo.insert");
-    MemoInsert(key, memo_hash, shared);
+    memo_.Insert(key, memo_hash, shared, tenant);
   }
   return *shared;
 }
@@ -241,168 +249,177 @@ util::Result<std::string> WrapperRuntime::Evaluate(
   return xml;
 }
 
-void WrapperRuntime::CountFailure(const util::Status& status) {
+void WrapperRuntime::CountFailure(const util::Status& status,
+                                  TenantId tenant) {
   if (status.code() == util::StatusCode::kDeadlineExceeded) {
     deadline_exceeded_->Add(1);
+    tenants_.counters(tenant)->deadline_exceeded->Add(1);
   } else if (status.code() == util::StatusCode::kCancelled) {
     cancelled_->Add(1);
+    tenants_.counters(tenant)->cancelled->Add(1);
   }
 }
 
 util::Result<std::unique_ptr<stream::StreamSession>>
-WrapperRuntime::SubmitStream(const WrapperHandle& handle,
-                             stream::StreamOptions options,
-                             const RequestOptions& request) {
-  MD_CHECK(handle.program != nullptr);
-  const util::EvalControl control(request.deadline, request.cancel.get());
+WrapperRuntime::SubmitStream(const Request& request,
+                             stream::StreamOptions options) {
+  MD_CHECK(request.wrapper.program != nullptr);
+  const TenantId tenant = request.options.tenant;
+  const RequestAdmission admission =
+      tenants_.Admit(tenant, request.options.deadline);
+  if (admission.degraded) degraded_->Add(1);
+  RequestOptions effective = request.options;
+  effective.deadline = admission.deadline;
+  const util::EvalControl control(effective.deadline,
+                                  effective.cancel.get());
   if (!control.unbounded()) {
     util::Status s = control.Check();
     if (!s.ok()) {
       // A session that cannot even open is still a failed session.
       stream_sessions_failed_->Add(1);
-      CountFailure(s);
+      CountFailure(s, tenant);
       return s;
     }
   }
-  // Chain the session's terminal status into the runtime counters; the
-  // user's own on_finish (if any) still fires.
+  // Chain the session's terminal status into the runtime and tenant
+  // counters; the user's own on_finish (if any) still fires.
   auto user_on_finish = std::move(options.on_finish);
-  options.on_finish = [this, user_on_finish =
-                                 std::move(user_on_finish)](
+  options.on_finish = [this, tenant, user_on_finish =
+                                         std::move(user_on_finish)](
                           const util::Status& status) {
     if (status.ok()) {
       pages_wrapped_->Add(1);
+      tenants_.counters(tenant)->pages_wrapped->Add(1);
       stream_sessions_->Add(1);
     } else {
       stream_sessions_failed_->Add(1);
-      CountFailure(status);
+      CountFailure(status, tenant);
     }
     if (user_on_finish) user_on_finish(status);
   };
   return std::make_unique<stream::StreamSession>(
-      handle.program, handle.project_attr, std::move(options), request,
-      &telemetry_);
+      request.wrapper.program, request.wrapper.project_attr,
+      std::move(options), effective, &telemetry_);
 }
 
 std::future<util::Result<std::string>> WrapperRuntime::Submit(
-    const WrapperHandle& handle, std::string html,
-    const RequestOptions& request) {
+    Request request) {
+  // The trace-lifetime contract (RequestOptions::trace) is enforced from
+  // here: the count rises before the caller regains control and falls inside
+  // the task, strictly before the future becomes ready — so a caller who
+  // joins the future may destroy the trace immediately after.
+  if (request.options.trace != nullptr) {
+    request.options.trace->AddInflightRequest();
+  }
   auto task = std::make_shared<
       std::packaged_task<util::Result<std::string>()>>(
-      [this, handle, html = std::move(html), request] {
-        return Wrap(handle, html, request);
+      [this, request = std::move(request)] {
+        util::Result<std::string> result =
+            Wrap(request.wrapper, request.page.bytes(), request.options);
+        if (request.options.trace != nullptr) {
+          request.options.trace->ReleaseInflightRequest();
+        }
+        return result;
       });
   std::future<util::Result<std::string>> future = task->get_future();
   pool_.Submit([task = std::move(task)] { (*task)(); });
   return future;
 }
 
-std::future<util::Result<std::string>> WrapperRuntime::SubmitRef(
-    const WrapperHandle& handle, const std::string* page,
+std::vector<util::Result<std::string>> WrapperRuntime::SubmitBatch(
+    std::vector<Request> requests) {
+  std::vector<std::future<util::Result<std::string>>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<util::Result<std::string>> results;
+  results.reserve(futures.size());
+  // Collection in submission order = deterministic merge: result i belongs
+  // to requests[i] no matter which worker finished first.
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::future<util::Result<std::string>> WrapperRuntime::Submit(
+    const WrapperHandle& handle, std::string html,
     const RequestOptions& request) {
-  auto task = std::make_shared<
-      std::packaged_task<util::Result<std::string>()>>(
-      [this, handle, page, request] { return Wrap(handle, *page, request); });
-  std::future<util::Result<std::string>> future = task->get_future();
-  pool_.Submit([task = std::move(task)] { (*task)(); });
-  return future;
+  return Submit(Request{PageRef::Copy(std::move(html)), handle, request});
 }
 
 std::vector<util::Result<std::string>> WrapperRuntime::RunBatch(
     const WrapperHandle& handle, const std::vector<std::string>& pages,
     const RequestOptions& request) {
-  std::vector<std::future<util::Result<std::string>>> futures;
-  futures.reserve(pages.size());
-  // By reference, not Submit's copy: this function owns `pages` until every
-  // future is joined below, so a corpus-sized duplication would buy nothing.
+  std::vector<Request> requests;
+  requests.reserve(pages.size());
+  // Borrowed pages, not copies: this function owns `pages` until SubmitBatch
+  // joins, so a corpus-sized duplication would buy nothing.
   for (const std::string& page : pages) {
-    futures.push_back(SubmitRef(handle, &page, request));
+    requests.push_back(Request{PageRef::View(page), handle, request});
   }
-  std::vector<util::Result<std::string>> results;
-  results.reserve(pages.size());
-  // Collection in submission order = deterministic merge: result i belongs
-  // to pages[i] no matter which worker finished first.
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
+  return SubmitBatch(std::move(requests));
+}
+
+util::Result<std::unique_ptr<stream::StreamSession>>
+WrapperRuntime::SubmitStream(const WrapperHandle& handle,
+                             stream::StreamOptions options,
+                             const RequestOptions& request) {
+  return SubmitStream(Request{PageRef{}, handle, request},
+                      std::move(options));
 }
 
 uint64_t WrapperRuntime::MemoKeyHash64(const MemoKey& key) {
-  uint64_t h = key.program_fp * 1099511628211ULL ^ key.content_hash.lo ^
-               key.content_hash.hi;
-  if (!key.attr.empty()) h ^= HashBytes(key.attr);
-  return util::Mix64(h);
+  // Keyed SipHash over the full key: the memo shares shard-routing /
+  // sketch-aliasing concerns with the document cache (document_cache.cc).
+  util::SipHasher h;
+  h.Update64(key.program_fp);
+  h.Update64(key.content_hash.lo);
+  h.Update64(key.content_hash.hi);
+  h.Update(key.attr);
+  return h.Finish();
 }
 
-std::shared_ptr<const std::string> WrapperRuntime::MemoLookup(
-    const MemoKey& key, uint64_t key_hash) {
-  if (options_.result_memo_bytes <= 0) return nullptr;
-  MemoShard& shard = MemoShardFor(key_hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.lfu.has_value()) shard.lfu->RecordAccess(key_hash);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    ++shard.hits;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->xml;
-  }
-  ++shard.misses;
-  return nullptr;
-}
-
-void WrapperRuntime::MemoInsert(const MemoKey& key, uint64_t key_hash,
-                                const std::shared_ptr<const std::string>& xml) {
-  if (options_.result_memo_bytes <= 0) return;
-  auto entry_cost = [](const MemoEntry& e) {
-    return static_cast<int64_t>(e.xml->size() + e.key.attr.size()) +
-           static_cast<int64_t>(sizeof(MemoEntry)) + 64;
-  };
-  MemoShard& shard = MemoShardFor(key_hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.index.contains(key)) return;  // concurrent eval of the same page
-  const int64_t cost = static_cast<int64_t>(xml->size() + key.attr.size()) +
-                       static_cast<int64_t>(sizeof(MemoEntry)) + 64;
-  if (shard.lfu.has_value()) {
-    // TinyLFU admission, as in the document cache: one-hit results must not
-    // churn the hot memo working set.
-    while (shard.bytes + cost > memo_shard_bytes_ && !shard.lru.empty()) {
-      if (!shard.lfu->Admit(key_hash, shard.lru.back().key_hash)) {
-        ++shard.admission_rejects;
-        return;
-      }
-      shard.bytes -= entry_cost(shard.lru.back());
-      shard.index.erase(shard.lru.back().key);
-      shard.lru.pop_back();
-    }
-  }
-  shard.lru.push_front(MemoEntry{key, key_hash, xml});
-  shard.index.emplace(key, shard.lru.begin());
-  shard.bytes += cost;
-  while (shard.bytes > memo_shard_bytes_ && shard.lru.size() > 1) {
-    shard.bytes -= entry_cost(shard.lru.back());
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-  }
+int64_t WrapperRuntime::MemoCost(const MemoKey& key, const std::string& xml) {
+  // The XML plus the key's heap string plus a flat allowance for the entry
+  // bookkeeping (list node, index slot, shared_ptr control block).
+  return static_cast<int64_t>(xml.size() + key.attr.size()) + 128;
 }
 
 RuntimeStats WrapperRuntime::stats() const {
   RuntimeStats out;
   out.document_cache = documents_.stats();
   out.program_cache = programs_.stats();
-  for (const auto& shard : memo_shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    out.memo_hits += shard->hits;
-    out.memo_misses += shard->misses;
-    out.memo_admission_rejects += shard->admission_rejects;
-    out.memo_bytes += shard->bytes;
-  }
+  const ShardedCacheStats memo = memo_.stats();
+  out.memo_hits = memo.hits;
+  out.memo_misses = memo.misses;
+  out.memo_admission_rejects = memo.admission_rejects;
+  out.memo_fair_share_rejects = memo.fair_share_rejects;
+  out.memo_bytes = memo.bytes_in_use;
   out.pages_wrapped = pages_wrapped_->Value();
   out.grounded_evals = grounded_evals_->Value();
   out.seminaive_evals = seminaive_evals_->Value();
   out.native_evals = native_evals_->Value();
   out.deadline_exceeded = deadline_exceeded_->Value();
   out.cancelled = cancelled_->Value();
+  out.degraded = degraded_->Value();
   out.stream_sessions = stream_sessions_->Value();
   out.stream_sessions_failed = stream_sessions_failed_->Value();
+  return out;
+}
+
+TenantStatsSnapshot WrapperRuntime::tenant_stats(TenantId tenant) const {
+  TenantStatsSnapshot out;
+  out.name = tenants_.name(tenant);
+  const TenantCounters* c = tenants_.counters(tenant);
+  out.requests = c->requests->Value();
+  out.pages_wrapped = c->pages_wrapped->Value();
+  out.memo_hits = c->memo_hits->Value();
+  out.deadline_exceeded = c->deadline_exceeded->Value();
+  out.cancelled = c->cancelled->Value();
+  out.degraded = c->degraded->Value();
+  out.cpu_ns = c->cpu_ns->Value();
+  out.document_cache = documents_.tenant_stats(tenant);
+  out.result_memo = memo_.tenant_stats(tenant);
   return out;
 }
 
@@ -417,6 +434,8 @@ telemetry::MetricsSnapshot WrapperRuntime::MetricsWithCacheStats() const {
   snap.counters["document_cache.evictions"] = s.document_cache.evictions;
   snap.counters["document_cache.admission_rejects"] =
       s.document_cache.admission_rejects;
+  snap.counters["document_cache.fair_share_rejects"] =
+      s.document_cache.fair_share_rejects;
   snap.counters["document_cache.store_hits"] = s.document_cache.store_hits;
   snap.gauges["document_cache.bytes_in_use"] = s.document_cache.bytes_in_use;
   snap.gauges["document_cache.byte_budget"] = s.document_cache.byte_budget;
@@ -431,7 +450,23 @@ telemetry::MetricsSnapshot WrapperRuntime::MetricsWithCacheStats() const {
   snap.counters["result_memo.hits"] = s.memo_hits;
   snap.counters["result_memo.misses"] = s.memo_misses;
   snap.counters["result_memo.admission_rejects"] = s.memo_admission_rejects;
+  snap.counters["result_memo.fair_share_rejects"] =
+      s.memo_fair_share_rejects;
   snap.gauges["result_memo.bytes"] = s.memo_bytes;
+  // Per-tenant cache slices. The tenants' QoS counters (requests, cpu_ns,
+  // degraded, …) live in the registry already and arrived with Snapshot().
+  for (TenantId id = 0; id < tenants_.num_tenants(); ++id) {
+    const std::string prefix = "tenant." + tenants_.name(id) + ".";
+    const TenantCacheStats doc = documents_.tenant_stats(id);
+    const TenantCacheStats memo = memo_.tenant_stats(id);
+    snap.counters[prefix + "document_cache_hits"] = doc.hits;
+    snap.counters[prefix + "document_cache_misses"] = doc.misses;
+    snap.counters[prefix + "document_cache_fair_share_rejects"] =
+        doc.fair_share_rejects;
+    snap.gauges[prefix + "document_cache_bytes"] = doc.bytes;
+    snap.counters[prefix + "result_memo_hits"] = memo.hits;
+    snap.gauges[prefix + "result_memo_bytes"] = memo.bytes;
+  }
   return snap;
 }
 

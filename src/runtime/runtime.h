@@ -2,29 +2,29 @@
 
 #include <cstdint>
 #include <future>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "src/runtime/admission.h"
 #include "src/runtime/document_cache.h"
 #include "src/runtime/program_cache.h"
+#include "src/runtime/sharded_lfu_cache.h"
+#include "src/runtime/tenant.h"
 #include "src/runtime/thread_pool.h"
 #include "src/stream/stream_types.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/deadline.h"
+#include "src/util/hash.h"
 #include "src/util/result.h"
 #include "src/wrapper/wrapper.h"
 
 /// \file runtime.h
 /// The wrapper-serving runtime: one process-wide object that owns the
 /// compiled-program cache, the shared-document cache, an optional result
-/// memo, and a fixed thread pool, and serves wrap requests through them.
+/// memo, a tenant registry, and a fixed thread pool, and serves wrap
+/// requests through them.
 ///
 /// This is the workload the paper's complexity story targets — monadic
 /// datalog wrappers are O(|P|·|dom|) per page (Theorem 4.2), so the
@@ -32,12 +32,24 @@
 /// plan re-compilation, arena allocation) dominate a serving deployment.
 /// The runtime amortizes every one of them.
 ///
-/// Production hardening: the document cache and the result memo are sharded
-/// (shared-nothing per-shard mutexes) with TinyLFU admission, and every
-/// request may carry a deadline and a cancel token (RequestOptions) that the
-/// engines poll cooperatively — a pathological page unwinds with a typed
-/// kDeadlineExceeded / kCancelled status instead of occupying a pool worker
-/// forever.
+/// Production hardening: the document cache and the result memo are two
+/// instantiations of one sharded TinyLFU store (sharded_lfu_cache.h), and
+/// every request may carry a deadline and a cancel token (RequestOptions)
+/// that the engines poll cooperatively — a pathological page unwinds with a
+/// typed kDeadlineExceeded / kCancelled status instead of occupying a pool
+/// worker forever.
+///
+/// Multi-tenant QoS (tenant.h): requests carry a TenantId; each tenant gets
+/// a guaranteed cache share (fair-share eviction), a CPU token bucket
+/// charged with measured evaluation time, and a priority class that maps
+/// over-quota traffic to tightened deadlines instead of rejections. The
+/// default tenant (id 0) is unmetered, so single-tenant callers pay almost
+/// nothing for the machinery.
+///
+/// The request surface is one value type: build a Request (page + wrapper +
+/// options) and hand it to Submit / SubmitBatch / SubmitStream, or wrap
+/// synchronously with Wrap(Request). The pre-Request entry points remain as
+/// deprecated shims for one release.
 
 namespace mdatalog::stream {
 class StreamSession;  // stream_session.h includes runtime.h, not vice versa
@@ -48,10 +60,15 @@ namespace mdatalog::runtime {
 struct RuntimeOptions {
   /// Workers in the batch executor. 1 = synchronous single-thread.
   int32_t num_threads = 1;
-  /// Byte budget of the shared-document cache; 0 disables document caching.
-  int64_t document_cache_bytes = 64 << 20;
-  /// Document-cache shards (rounded up to a power of two; 1 = single mutex).
-  int32_t document_cache_shards = 8;
+  /// Shared-document cache tuning (sharded_lfu_cache.h). byte_budget 0
+  /// disables document caching.
+  CacheOptions document_cache{.byte_budget = 64 << 20};
+  /// Result-memo tuning (wrapping is a pure function of
+  /// (program, document), so the memo is exact). byte_budget 0 disables
+  /// memoization. Memo entries are one XML string, so the sketch auto-sizing
+  /// assumes ~4KB entries.
+  CacheOptions result_memo{.byte_budget = 16 << 20,
+                           .sketch_entry_bytes = 4 << 10};
   /// Max number of compiled programs kept.
   int32_t program_cache_capacity = 64;
   /// Key the program cache and the result memo on the canonical wrapper key
@@ -60,20 +77,17 @@ struct RuntimeOptions {
   /// plan and one set of memoized results. false = syntactic keys only (the
   /// pre-canonicalization behavior, kept for A/B benchmarking).
   bool canonical_program_keys = true;
-  /// Byte budget for memoized wrap results (wrapping is a pure function of
-  /// (program, document), so the memo is exact); 0 disables memoization.
-  int64_t result_memo_bytes = 16 << 20;
-  /// Result-memo shards (rounded up to a power of two).
-  int32_t result_memo_shards = 8;
-  /// TinyLFU admission on the document cache and result memo. false = plain
-  /// LRU (admit everything) — the pre-hardening behavior, kept for A/B
-  /// benchmarking and for workloads known to have no scan traffic.
-  bool cache_admission = true;
   /// Optional open corpus store (store::CorpusStore::Open), served as the
   /// document cache's second level: in-memory miss → mmap'd snapshot →
   /// only then an HTML parse. Documents must have been packed with the same
   /// projection attribute the wrapper registers with. May be null.
   std::shared_ptr<const store::CorpusStore> corpus_store = nullptr;
+  /// Tenants registered at construction, in id order starting at 1 (id 0 is
+  /// the always-present unmetered default tenant). More may be added later
+  /// via RegisterTenant().
+  std::vector<TenantQuota> tenants;
+  /// Priority-class deadline caps for over-quota tenants.
+  QosOptions qos;
 
   enum class EngineMode {
     /// Grounded-datalog plan replay when the Corollary 6.4 pipeline
@@ -102,12 +116,14 @@ struct RuntimeOptions {
   telemetry::TelemetryOptions telemetry;
 };
 
-/// Per-request bounds, threaded from Submit/RunBatch through the engines.
-/// Default-constructed = unbounded (the pre-existing behavior, zero cost).
+/// Per-request bounds and identity, threaded from Submit/SubmitBatch through
+/// the engines. Default-constructed = unbounded, default tenant (the
+/// pre-existing behavior, zero cost).
 struct RequestOptions {
   /// Absolute deadline; evaluation unwinds with kDeadlineExceeded once it
   /// passes. The check is cooperative (strided polling inside the fixpoint
-  /// loops), so overshoot is microseconds, not unbounded.
+  /// loops), so overshoot is microseconds, not unbounded. An over-quota
+  /// tenant may have this tightened further at admission (tenant.h).
   util::Deadline deadline;
   /// Shared cancel flag; one token may cover a whole batch. The runtime
   /// holds the shared_ptr in the request closure, so the token outlives the
@@ -116,9 +132,65 @@ struct RequestOptions {
   /// Caller-owned trace for this request. When set, the runtime records the
   /// request's span tree into it (bypassing the sampling policy and the
   /// trace ring — the caller keeps the trace) instead of starting its own.
-  /// Must outlive the request; for Submit/RunBatch that means until the
-  /// future resolves. Null = the runtime's own sampling policy decides.
+  /// Must outlive the request; for Submit/SubmitBatch that means until the
+  /// future resolves, for SubmitStream until the session is destroyed.
+  /// Enforced in debug builds: the runtime counts async requests into
+  /// TraceContext::inflight_requests() and the trace's destructor asserts
+  /// the count is zero. Null = the runtime's own sampling policy decides.
   telemetry::TraceContext* trace = nullptr;
+  /// Who this request runs as — pays for its cache bytes, is charged its
+  /// CPU, and gets its QoS class. Unknown ids serve as the default tenant.
+  TenantId tenant = kDefaultTenant;
+};
+
+/// The page bytes of one request, either borrowed or owned. Borrowed pages
+/// (View) make batch submission zero-copy — the caller guarantees the bytes
+/// outlive the request (for SubmitBatch: the call itself, which joins).
+/// Owned pages (Copy) are for futures that outlive the caller's buffer.
+class PageRef {
+ public:
+  PageRef() = default;
+
+  /// Borrows `bytes`. Caller keeps them alive until the request completes.
+  static PageRef View(std::string_view bytes) {
+    PageRef p;
+    p.view_ = bytes;
+    return p;
+  }
+  /// Takes ownership of `bytes`; the request is self-contained.
+  static PageRef Copy(std::string bytes) {
+    PageRef p;
+    p.owned_ = true;
+    p.storage_ = std::move(bytes);
+    return p;
+  }
+
+  /// Valid wherever the PageRef is (recomputed per call, so moves are safe).
+  std::string_view bytes() const {
+    return owned_ ? std::string_view(storage_) : view_;
+  }
+
+ private:
+  bool owned_ = false;
+  std::string storage_;     // when owned
+  std::string_view view_;   // when borrowed
+};
+
+/// A registered wrapper: the shared compiled program plus the attribute
+/// projection its pages are prepared with. Cheap to copy.
+struct WrapperHandle {
+  std::shared_ptr<const CompiledWrapperProgram> program;
+  std::string project_attr;
+};
+
+/// One wrap request, complete: what to wrap, with which wrapper, under which
+/// bounds and tenant. The single currency of the submission API — Wrap,
+/// Submit, SubmitBatch and SubmitStream all take it (SubmitStream ignores
+/// `page`; the page arrives via StreamSession::Feed).
+struct Request {
+  PageRef page;
+  WrapperHandle wrapper;
+  RequestOptions options;
 };
 
 struct RuntimeStats {
@@ -127,6 +199,7 @@ struct RuntimeStats {
   int64_t memo_hits = 0;
   int64_t memo_misses = 0;
   int64_t memo_admission_rejects = 0;
+  int64_t memo_fair_share_rejects = 0;
   int64_t memo_bytes = 0;
   int64_t pages_wrapped = 0;       // full evaluations (memo hits excluded)
   int64_t grounded_evals = 0;
@@ -134,16 +207,26 @@ struct RuntimeStats {
   int64_t native_evals = 0;
   int64_t deadline_exceeded = 0;   // requests unwound by their deadline
   int64_t cancelled = 0;           // requests unwound by their cancel token
+  int64_t degraded = 0;            // requests admitted with a tightened
+                                   // deadline (tenant over CPU quota)
   int64_t stream_sessions = 0;     // stream sessions finished successfully
   int64_t stream_sessions_failed = 0;  // sessions ended by deadline/cancel/
                                        // parse failure (any non-OK terminal)
 };
 
-/// A registered wrapper: the shared compiled program plus the attribute
-/// projection its pages are prepared with. Cheap to copy.
-struct WrapperHandle {
-  std::shared_ptr<const CompiledWrapperProgram> program;
-  std::string project_attr;
+/// One tenant's view of the runtime: its QoS counters plus its slice of both
+/// caches.
+struct TenantStatsSnapshot {
+  std::string name;
+  int64_t requests = 0;
+  int64_t pages_wrapped = 0;
+  int64_t memo_hits = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t cancelled = 0;
+  int64_t degraded = 0;
+  int64_t cpu_ns = 0;
+  TenantCacheStats document_cache;
+  TenantCacheStats result_memo;
 };
 
 class WrapperRuntime {
@@ -160,38 +243,68 @@ class WrapperRuntime {
   util::Result<WrapperHandle> Register(const wrapper::Wrapper& wrapper,
                                        const std::string& project_attr = "");
 
-  /// Wraps one page synchronously on the calling thread, through the caches.
-  /// Returns the output XML, or kDeadlineExceeded / kCancelled when the
-  /// request's bounds fire mid-evaluation.
+  /// Registers a tenant while serving; returns its id. Tenants listed in
+  /// RuntimeOptions::tenants are registered at construction (ids 1, 2, …).
+  TenantId RegisterTenant(const TenantQuota& quota) {
+    return tenants_.Register(quota);
+  }
+
+  /// Wraps one page synchronously on the calling thread, through the caches
+  /// and the tenant's QoS gate. Returns the output XML, or
+  /// kDeadlineExceeded / kCancelled when the request's (possibly degraded)
+  /// bounds fire mid-evaluation.
+  util::Result<std::string> Wrap(const Request& request) {
+    return Wrap(request.wrapper, request.page.bytes(), request.options);
+  }
+  /// Same, with the parts spelled out (the sync core the shims reuse).
   util::Result<std::string> Wrap(const WrapperHandle& handle,
                                  std::string_view html,
                                  const RequestOptions& request = {});
 
-  /// Enqueues one page on the thread pool.
-  std::future<util::Result<std::string>> Submit(
-      const WrapperHandle& handle, std::string html,
-      const RequestOptions& request = {});
+  /// Enqueues one request on the thread pool. A borrowed page (PageRef::View)
+  /// must stay alive until the future resolves; prefer PageRef::Copy for
+  /// fire-and-forget submission.
+  std::future<util::Result<std::string>> Submit(Request request);
 
-  /// Opens a streaming wrap session: the page arrives in chunks
-  /// (StreamSession::Feed) and extraction results emit via
-  /// `options.on_result` as soon as they are derived and final — before end
-  /// of input for programs on the datalog pipeline. Finish() returns XML
-  /// byte-identical to Wrap on the concatenated bytes. The session is not
-  /// cached or memoized (its page has no complete bytes to key on) and must
-  /// not outlive the runtime. Fails fast if `request` is already expired.
+  /// Fans requests across the workers and merges deterministically: the
+  /// result vector is index-aligned with `requests` regardless of completion
+  /// order (request i's result is at position i, always). Joins before
+  /// returning, so borrowed pages only need to outlive the call.
+  std::vector<util::Result<std::string>> SubmitBatch(
+      std::vector<Request> requests);
+
+  /// Opens a streaming wrap session for `request` (its `page` is ignored —
+  /// the page arrives in chunks via StreamSession::Feed) and extraction
+  /// results emit via `options.on_result` as soon as they are derived and
+  /// final — before end of input for programs on the datalog pipeline.
+  /// Finish() returns XML byte-identical to Wrap on the concatenated bytes.
+  /// The session is not cached or memoized (its page has no complete bytes
+  /// to key on) and must not outlive the runtime. Fails fast if the request
+  /// is already expired.
   util::Result<std::unique_ptr<stream::StreamSession>> SubmitStream(
-      const WrapperHandle& handle, stream::StreamOptions options,
-      const RequestOptions& request = {});
+      const Request& request, stream::StreamOptions options);
 
-  /// Fans a corpus across the workers and merges deterministically: the
-  /// result vector is index-aligned with `pages` regardless of completion
-  /// order (page i's result is at position i, always). `request` applies to
-  /// every page (one deadline / cancel token for the whole batch).
+  /// Pre-Request entry points, kept one release for migration. They forward
+  /// to the Request surface verbatim.
+  [[deprecated("build a Request and call Submit(Request)")]]
+  std::future<util::Result<std::string>> Submit(const WrapperHandle& handle,
+                                                std::string html,
+                                                const RequestOptions& request);
+  [[deprecated("build Requests and call SubmitBatch")]]
   std::vector<util::Result<std::string>> RunBatch(
       const WrapperHandle& handle, const std::vector<std::string>& pages,
       const RequestOptions& request = {});
+  [[deprecated("build a Request and call SubmitStream(Request, options)")]]
+  util::Result<std::unique_ptr<stream::StreamSession>> SubmitStream(
+      const WrapperHandle& handle, stream::StreamOptions options,
+      const RequestOptions& request);
 
   RuntimeStats stats() const;
+  /// One tenant's QoS counters and cache slices. Unknown ids read as the
+  /// default tenant.
+  TenantStatsSnapshot tenant_stats(TenantId tenant) const;
+  const TenantRegistry& tenant_registry() const { return tenants_; }
+
   int32_t num_threads() const { return pool_.num_threads(); }
 
   /// The runtime's telemetry bundle: metrics registry, recent traces, slow
@@ -200,8 +313,9 @@ class WrapperRuntime {
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
   /// Prometheus text exposition of every metric the runtime knows — the
-  /// registry (serving counters, per-stage latency histograms) merged with
-  /// the cache/memo statistics (injected as counters/gauges).
+  /// registry (serving counters, per-tenant QoS counters, per-stage latency
+  /// histograms) merged with the cache/memo statistics (injected as
+  /// counters/gauges, including each tenant's cache slice).
   std::string ExportPrometheus() const;
   /// One JSON document: the same metrics plus the recent completed traces
   /// (full span trees) and the per-page nodes-vs-wall-time scatter.
@@ -214,57 +328,25 @@ class WrapperRuntime {
     std::string attr;
     bool operator==(const MemoKey&) const = default;
   };
-  struct MemoKeyHash {
+  struct MemoKeyHasher {
     size_t operator()(const MemoKey& k) const {
-      return static_cast<size_t>(k.program_fp * 1099511628211ULL ^
-                                 k.content_hash.lo ^ k.content_hash.hi) ^
-             std::hash<std::string>{}(k.attr);
+      return static_cast<size_t>(MemoKeyHash64(k));
     }
   };
-  // The XML is held by shared_ptr so lookups copy a pointer, not the
-  // document, while holding the shard mutex — the hit path's critical
-  // section is O(1), not O(output).
-  struct MemoEntry {
-    MemoKey key;
-    uint64_t key_hash = 0;  // sketch key
-    std::shared_ptr<const std::string> xml;
-  };
-  /// One shard of the result memo: own mutex, own LRU, own byte budget, own
-  /// frequency sketch — shared-nothing, like the document cache.
-  struct MemoShard {
-    mutable std::mutex mu;
-    std::list<MemoEntry> lru;  // front = most recently used
-    std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, MemoKeyHash>
-        index;
-    std::optional<TinyLfuAdmission> lfu;
-    int64_t bytes = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t admission_rejects = 0;
-  };
 
+  /// Keyed SipHash over the full memo key (see document_cache.h for why the
+  /// in-memory key hashes are keyed).
   static uint64_t MemoKeyHash64(const MemoKey& key);
-  MemoShard& MemoShardFor(uint64_t key_hash) {
-    return *memo_shards_[(key_hash >> 32) & memo_shard_mask_];
-  }
+  static int64_t MemoCost(const MemoKey& key, const std::string& xml);
 
-  std::shared_ptr<const std::string> MemoLookup(const MemoKey& key,
-                                                uint64_t key_hash);
-  void MemoInsert(const MemoKey& key, uint64_t key_hash,
-                  const std::shared_ptr<const std::string>& xml);
-
-  /// Submit without copying the page: `page` must stay alive until the
-  /// returned future is ready (RunBatch owns the corpus and joins).
-  std::future<util::Result<std::string>> SubmitRef(
-      const WrapperHandle& handle, const std::string* page,
-      const RequestOptions& request);
-
-  /// Wrap minus trace lifecycle: hash → memo → document → evaluate → memo
-  /// insert, recording spans against `trace` (may be null).
+  /// Wrap minus trace lifecycle and QoS accounting: hash → memo → document →
+  /// evaluate → memo insert, recording spans against `trace` (may be null)
+  /// and per-tenant cache charges against `tenant`.
   util::Result<std::string> WrapImpl(const WrapperHandle& handle,
                                      std::string_view html,
                                      const util::EvalControl& control,
-                                     telemetry::TraceContext* trace);
+                                     telemetry::TraceContext* trace,
+                                     TenantId tenant);
 
   /// The uncached evaluation core: engine selection + extent computation +
   /// output construction over a prepared document. `control` may be null.
@@ -272,8 +354,8 @@ class WrapperRuntime {
                                      const CachedDocument& doc,
                                      const util::EvalControl* control);
 
-  /// Books a terminal status into the deadline/cancel counters.
-  void CountFailure(const util::Status& status);
+  /// Books a terminal status into the runtime and tenant counters.
+  void CountFailure(const util::Status& status, TenantId tenant);
 
   /// Registry snapshot with the cache/memo statistics folded in (the caches
   /// keep their own sharded counters; exports want one document).
@@ -283,12 +365,11 @@ class WrapperRuntime {
   // Before the caches and the pool: counter handles below point into the
   // registry, and pool workers record through them until the pool drains.
   telemetry::Telemetry telemetry_;
+  // Before the caches: both hold a pointer to the registry for fair share.
+  TenantRegistry tenants_;
   ProgramCache programs_;
   DocumentCache documents_;
-
-  const int64_t memo_shard_bytes_;  // per-shard budget
-  uint64_t memo_shard_mask_ = 0;
-  std::vector<std::unique_ptr<MemoShard>> memo_shards_;
+  ShardedLfuCache<MemoKey, std::string, MemoKeyHasher> memo_;
 
   // Serving counters, resolved once at construction. Striped lock-free
   // counters in the registry — stats() reads the same storage the exporters
@@ -299,6 +380,7 @@ class WrapperRuntime {
   telemetry::Counter* const native_evals_;
   telemetry::Counter* const deadline_exceeded_;
   telemetry::Counter* const cancelled_;
+  telemetry::Counter* const degraded_;
   telemetry::Counter* const stream_sessions_;
   telemetry::Counter* const stream_sessions_failed_;
 

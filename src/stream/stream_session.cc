@@ -82,7 +82,12 @@ StreamSession::StreamSession(
       telemetry_(telemetry),
       external_trace_(request_.trace) {
   MD_CHECK(program_ != nullptr);
-  if (external_trace_ == nullptr && telemetry_ != nullptr) {
+  if (external_trace_ != nullptr) {
+    // The session records into the caller's trace for its whole lifetime;
+    // hold it inflight so destroying the trace first trips the debug assert
+    // instead of a use-after-free.
+    external_trace_->AddInflightRequest();
+  } else if (telemetry_ != nullptr) {
     trace_ = telemetry_->StartTrace("stream");
   }
   if (program_->has_ground_plan) {
@@ -150,6 +155,12 @@ StreamSession::StreamSession(
     eval_kept_->AddNode(root, -1);
     AssertUnary(eval_kept_.get(), root_pred_, 0);
     AssertLabel(eval_kept_.get(), "#document", 0);
+  }
+}
+
+StreamSession::~StreamSession() {
+  if (external_trace_ != nullptr) {
+    external_trace_->ReleaseInflightRequest();
   }
 }
 

@@ -75,6 +75,11 @@ class StreamSession {
   StreamSession(const StreamSession&) = delete;
   StreamSession& operator=(const StreamSession&) = delete;
 
+  /// Releases the session's hold on a caller-owned trace
+  /// (TraceContext::inflight_requests — the trace must outlive the session,
+  /// asserted by the trace's destructor in debug builds).
+  ~StreamSession();
+
   /// Consumes the next chunk of the page. Chunk boundaries are arbitrary —
   /// mid-tag, mid-attribute, mid-entity, one byte at a time — and never
   /// observable in the results. On error (deadline, cancellation) the

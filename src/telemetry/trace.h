@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -79,6 +81,32 @@ class TraceContext {
   TraceContext(const TraceContext&) = delete;
   TraceContext& operator=(const TraceContext&) = delete;
 
+  /// Debug-build enforcement of the RequestOptions::trace lifetime contract:
+  /// a caller-owned trace must outlive every async request that records into
+  /// it. The runtime increments before enqueueing such a request and
+  /// decrements before the request's future resolves (stream sessions hold a
+  /// reference for their whole lifetime), so destroying a trace while the
+  /// count is nonzero is always a caller bug — about to become a use-after-
+  /// free on a worker thread.
+  ~TraceContext() {
+    assert(inflight_requests() == 0 &&
+           "TraceContext destroyed while an async request still references "
+           "it (RequestOptions::trace must outlive the future / session)");
+  }
+
+  void AddInflightRequest() {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void ReleaseInflightRequest() {
+    inflight_.fetch_sub(1, std::memory_order_release);
+  }
+  /// Async requests currently referencing this trace. Maintained in every
+  /// build (one relaxed atomic per async request); only the destructor
+  /// assertion compiles out under NDEBUG.
+  int32_t inflight_requests() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
   /// Opens a span; returns its index, or -1 when the span cap is hit (the
   /// matching EndSpan(-1) is a no-op).
   int32_t BeginSpan(const char* name);
@@ -120,6 +148,7 @@ class TraceContext {
   util::StatusCode status_ = util::StatusCode::kOk;
   std::vector<SpanRecord> spans_;
   std::vector<int32_t> open_;  // stack of open span indexes
+  std::atomic<int32_t> inflight_{0};
 };
 
 /// The trace of the request this thread is currently executing, or nullptr.

@@ -62,6 +62,15 @@ class Deadline {
   std::chrono::steady_clock::time_point at_{};
 };
 
+/// The earlier of two deadlines; an absent deadline is later than any. The
+/// QoS layer uses this to tighten (never loosen) a request's own deadline
+/// when its tenant is over quota.
+inline Deadline EarlierOf(const Deadline& a, const Deadline& b) {
+  if (!a.has_deadline()) return b;
+  if (!b.has_deadline()) return a;
+  return a.at() <= b.at() ? a : b;
+}
+
 /// The control block threaded through evaluation: a deadline plus an
 /// optional shared cancel token. Copyable view; the token (if any) must
 /// outlive the evaluation, which the runtime guarantees by holding the

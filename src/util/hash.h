@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <random>
 #include <string_view>
 
 /// \file hash.h
@@ -8,6 +11,18 @@
 /// corpus store (src/store/). Moved out of the runtime so the store — which
 /// the runtime sits on top of — can key packed documents by the same content
 /// hash the document cache uses, without a dependency cycle.
+///
+/// Two families live here with different stability contracts:
+///  * HashBytes / HashBytes128 — unkeyed, stable across processes and runs.
+///    The corpus store persists HashBytes128 values into packed snapshots,
+///    so these must never change silently.
+///  * SipHash-2-4 (SipHasher / SipHash) — keyed, randomized per process.
+///    The in-memory caches use it for shard routing, sketch keys and bucket
+///    placement: once tenants are mutually untrusted, a 64-bit unkeyed hash
+///    is an attack surface (precomputed collisions skew one shard, alias the
+///    frequency sketch, or degenerate a hash bucket into a list). A secret
+///    key removes the offline-search option without a measurable cost on the
+///    serving path (~1 byte/cycle on short keys).
 
 namespace mdatalog::util {
 
@@ -55,6 +70,137 @@ inline Hash128 HashBytes128(std::string_view bytes) {
   }
   h.hi ^= static_cast<uint64_t>(bytes.size());  // length guard
   return h;
+}
+
+/// 128-bit key for SipHash. Equal keys produce equal hashes; the process key
+/// below is random, so hash values are NOT stable across runs — never
+/// persist them.
+struct SipHashKey {
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+};
+
+/// The process-wide random SipHash key the in-memory caches hash with. One
+/// key per process: cache keys never cross process boundaries (the corpus
+/// store keys on the unkeyed Hash128 precisely so its snapshots stay
+/// portable), and a shared key lets every cache reuse one secret.
+inline const SipHashKey& ProcessSipHashKey() {
+  static const SipHashKey key = [] {
+    std::random_device rd;
+    auto r64 = [&rd] {
+      return (static_cast<uint64_t>(rd()) << 32) ^ static_cast<uint64_t>(rd());
+    };
+    return SipHashKey{r64(), r64()};
+  }();
+  return key;
+}
+
+/// Incremental SipHash-2-4 (Aumasson & Bernstein). Feed any mix of raw byte
+/// ranges and 64-bit words, then Finish() once. The word form hashes the
+/// value's 8 little-endian bytes — callers composing structured keys
+/// (content hash halves, program fingerprints) avoid staging them through a
+/// temporary buffer.
+class SipHasher {
+ public:
+  explicit SipHasher(const SipHashKey& key = ProcessSipHashKey())
+      : v0_(key.k0 ^ 0x736f6d6570736575ULL),
+        v1_(key.k1 ^ 0x646f72616e646f6dULL),
+        v2_(key.k0 ^ 0x6c7967656e657261ULL),
+        v3_(key.k1 ^ 0x7465646279746573ULL) {}
+
+  void Update(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    total_ += len;
+    if (buffered_ > 0) {
+      while (buffered_ < 8 && len > 0) {
+        buf_[buffered_++] = *p++;
+        --len;
+      }
+      if (buffered_ == 8) {
+        Compress(Load64(buf_));
+        buffered_ = 0;
+      }
+    }
+    while (len >= 8) {
+      Compress(Load64(p));
+      p += 8;
+      len -= 8;
+    }
+    while (len > 0) {
+      buf_[buffered_++] = *p++;
+      --len;
+    }
+  }
+
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  void Update64(uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    Update(b, 8);
+  }
+
+  /// Finalizes and returns the 64-bit digest. The hasher must not be
+  /// updated again afterwards.
+  uint64_t Finish() {
+    uint64_t last = static_cast<uint64_t>(total_ & 0xff) << 56;
+    for (size_t i = 0; i < buffered_; ++i) {
+      last |= static_cast<uint64_t>(buf_[i]) << (8 * i);
+    }
+    Compress(last);
+    v2_ ^= 0xff;
+    Round();
+    Round();
+    Round();
+    Round();
+    return v0_ ^ v1_ ^ v2_ ^ v3_;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+  static uint64_t Load64(const unsigned char* p) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+  }
+
+  void Round() {
+    v0_ += v1_;
+    v1_ = Rotl(v1_, 13);
+    v1_ ^= v0_;
+    v0_ = Rotl(v0_, 32);
+    v2_ += v3_;
+    v3_ = Rotl(v3_, 16);
+    v3_ ^= v2_;
+    v0_ += v3_;
+    v3_ = Rotl(v3_, 21);
+    v3_ ^= v0_;
+    v2_ += v1_;
+    v1_ = Rotl(v1_, 17);
+    v1_ ^= v2_;
+    v2_ = Rotl(v2_, 32);
+  }
+
+  void Compress(uint64_t m) {  // the c = 2 compression rounds of SipHash-2-4
+    v3_ ^= m;
+    Round();
+    Round();
+    v0_ ^= m;
+  }
+
+  uint64_t v0_, v1_, v2_, v3_;
+  unsigned char buf_[8] = {};
+  size_t buffered_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// One-shot SipHash-2-4 of a byte range under `key` (the process key by
+/// default).
+inline uint64_t SipHash(std::string_view bytes,
+                        const SipHashKey& key = ProcessSipHashKey()) {
+  SipHasher h(key);
+  h.Update(bytes);
+  return h.Finish();
 }
 
 }  // namespace mdatalog::util

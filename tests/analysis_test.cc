@@ -599,7 +599,7 @@ TEST(WrapperCorpusTest, MinimizeIsExtractionPreservingAcrossEngines) {
       for (auto mode : kModes) {
         runtime::RuntimeOptions opts;
         opts.engine = mode;
-        opts.result_memo_bytes = 0;  // every Wrap must really evaluate
+        opts.result_memo.byte_budget = 0;  // every Wrap must really evaluate
         runtime::WrapperRuntime rt(opts);
         for (const wrapper::Wrapper* w : {&original, &minimized}) {
           auto handle = rt.Register(*w, "class");

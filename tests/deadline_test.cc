@@ -279,7 +279,7 @@ TEST(RuntimeDeadlineTest, MixedBoundedAndUnboundedTrafficAt8Threads) {
   // byte-identically — bounded failures never bleed into neighbors.
   runtime::RuntimeOptions opts;
   opts.num_threads = 8;
-  opts.result_memo_bytes = 0;  // every request actually evaluates
+  opts.result_memo.byte_budget = 0;  // every request actually evaluates
   runtime::WrapperRuntime rt(opts);
   auto handle = rt.Register(BoardWrapper());
   ASSERT_TRUE(handle.ok());
@@ -302,8 +302,10 @@ TEST(RuntimeDeadlineTest, MixedBoundedAndUnboundedTrafficAt8Threads) {
   std::vector<std::future<util::Result<std::string>>> unbounded;
   for (int round = 0; round < 2; ++round) {
     for (size_t i = 0; i < pages.size(); ++i) {
-      bounded.push_back(rt.Submit(*handle, pages[i], expired_request));
-      unbounded.push_back(rt.Submit(*handle, pages[i]));
+      bounded.push_back(rt.Submit(
+          {runtime::PageRef::View(pages[i]), *handle, expired_request}));
+      unbounded.push_back(
+          rt.Submit({runtime::PageRef::View(pages[i]), *handle, {}}));
     }
   }
   for (auto& f : bounded) {

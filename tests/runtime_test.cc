@@ -69,6 +69,20 @@ wrapper::Wrapper BoardWrapper() {
   return w;
 }
 
+/// One Request per page, borrowing the page bytes (the caller's vector
+/// outlives the SubmitBatch join).
+std::vector<runtime::Request> ViewBatch(
+    const runtime::WrapperHandle& handle,
+    const std::vector<std::string>& pages,
+    const runtime::RequestOptions& options = {}) {
+  std::vector<runtime::Request> requests;
+  requests.reserve(pages.size());
+  for (const std::string& page : pages) {
+    requests.push_back({runtime::PageRef::View(page), handle, options});
+  }
+  return requests;
+}
+
 std::string CatalogPage(uint64_t seed, int32_t items) {
   util::Rng rng(seed);
   html::CatalogOptions opts;
@@ -133,9 +147,9 @@ TEST(DocumentCacheTest, EvictsLruUnderByteBudget) {
   ASSERT_TRUE(probe.ok());
   const int64_t one_doc = (*probe)->ApproxBytes();
   runtime::DocumentCache cache(runtime::DocumentCacheOptions{
-      .byte_budget = 2 * one_doc + one_doc / 2,
-      .num_shards = 1,
-      .tinylfu_admission = false,
+      .cache = {.byte_budget = 2 * one_doc + one_doc / 2,
+                .num_shards = 1,
+                .tinylfu_admission = false},
   });
 
   ASSERT_TRUE(cache.GetOrParse(BoardPage(1, 3, 3), "").ok());
@@ -208,9 +222,9 @@ TEST(DocumentCacheTest, TinyLfuKeepsHotEntryAgainstColdScan) {
   ASSERT_TRUE(probe.ok());
   const int64_t one_doc = (*probe)->ApproxBytes();
   runtime::DocumentCache cache(runtime::DocumentCacheOptions{
-      .byte_budget = 2 * one_doc + one_doc / 2,
-      .num_shards = 1,
-      .tinylfu_admission = true,
+      .cache = {.byte_budget = 2 * one_doc + one_doc / 2,
+                .num_shards = 1,
+                .tinylfu_admission = true},
   });
 
   // Make page 1 hot: several accesses build up sketch frequency.
@@ -275,9 +289,9 @@ TEST(DocumentCacheTest, StoreHitsNotDoubleCountedUnderRace) {
   ASSERT_TRUE(store.ok());
 
   runtime::DocumentCacheOptions options;
-  options.byte_budget = 64 << 20;
-  options.num_shards = 1;
-  options.tinylfu_admission = false;  // every miss admits: pure LRU
+  options.cache.byte_budget = 64 << 20;
+  options.cache.num_shards = 1;
+  options.cache.tinylfu_admission = false;  // every miss admits: pure LRU
   options.corpus_store = *store;
   runtime::DocumentCache cache(options);
 
@@ -532,14 +546,14 @@ TEST(WrapperRuntimeTest, MatchesSequentialWrapperWithProjection) {
 TEST(WrapperRuntimeTest, EnginesProduceIdenticalOutput) {
   runtime::RuntimeOptions native_opts;
   native_opts.engine = runtime::RuntimeOptions::EngineMode::kNativeElog;
-  native_opts.result_memo_bytes = 0;
+  native_opts.result_memo.byte_budget = 0;
   runtime::RuntimeOptions grounded_opts;
   grounded_opts.engine = runtime::RuntimeOptions::EngineMode::kGroundedDatalog;
-  grounded_opts.result_memo_bytes = 0;
+  grounded_opts.result_memo.byte_budget = 0;
   runtime::RuntimeOptions seminaive_opts;
   seminaive_opts.engine =
       runtime::RuntimeOptions::EngineMode::kSemiNaiveDatalog;
-  seminaive_opts.result_memo_bytes = 0;
+  seminaive_opts.result_memo.byte_budget = 0;
   runtime::WrapperRuntime native(native_opts);
   runtime::WrapperRuntime grounded(grounded_opts);
   runtime::WrapperRuntime seminaive(seminaive_opts);
@@ -657,7 +671,7 @@ TEST(WrapperRuntimeTest, EquivalentWrapperRevisionsShareMemoizedResults) {
 TEST(WrapperRuntimeConcurrencyTest, ManyThreadsOneSharedDocument) {
   runtime::RuntimeOptions opts;
   opts.num_threads = 8;
-  opts.result_memo_bytes = 0;
+  opts.result_memo.byte_budget = 0;
   runtime::WrapperRuntime rt(opts);
   auto handle = rt.Register(CatalogWrapper(), "class");
   ASSERT_TRUE(handle.ok());
@@ -666,7 +680,9 @@ TEST(WrapperRuntimeConcurrencyTest, ManyThreadsOneSharedDocument) {
   const std::string expected = SequentialXml(CatalogWrapper(), page, "class");
 
   std::vector<std::future<util::Result<std::string>>> futures;
-  for (int i = 0; i < 48; ++i) futures.push_back(rt.Submit(*handle, page));
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(rt.Submit({runtime::PageRef::View(page), *handle, {}}));
+  }
   for (auto& f : futures) {
     auto got = f.get();
     ASSERT_TRUE(got.ok()) << got.status().ToString();
@@ -683,7 +699,7 @@ TEST(WrapperRuntimeConcurrencyTest, ManyThreadsOneSharedDocument) {
 TEST(WrapperRuntimeConcurrencyTest, ManyDocumentsOneSharedProgram) {
   runtime::RuntimeOptions opts;
   opts.num_threads = 8;
-  opts.result_memo_bytes = 0;
+  opts.result_memo.byte_budget = 0;
   runtime::WrapperRuntime rt(opts);
   auto handle = rt.Register(CatalogWrapper(), "class");
   ASSERT_TRUE(handle.ok());
@@ -699,7 +715,8 @@ TEST(WrapperRuntimeConcurrencyTest, ManyDocumentsOneSharedProgram) {
   std::vector<std::future<util::Result<std::string>>> futures;
   for (int round = 0; round < 2; ++round) {
     for (const std::string& page : pages) {
-      futures.push_back(rt.Submit(*handle, page));
+      futures.push_back(
+          rt.Submit({runtime::PageRef::View(page), *handle, {}}));
     }
   }
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -719,7 +736,11 @@ TEST(WrapperRuntimeConcurrencyTest, MemoUnderContentionStaysCorrect) {
   std::string page = BoardPage(11, 3, 4);
   const std::string expected = SequentialXml(BoardWrapper(), page, "");
   std::vector<std::future<util::Result<std::string>>> futures;
-  for (int i = 0; i < 32; ++i) futures.push_back(rt.Submit(*handle, page));
+  // PageRef::Copy: each request is self-contained (exercises the owning
+  // flavor; the View flavor is covered above).
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(rt.Submit({runtime::PageRef::Copy(page), *handle, {}}));
+  }
   for (auto& f : futures) {
     auto got = f.get();
     ASSERT_TRUE(got.ok());
@@ -749,7 +770,8 @@ TEST(WrapperRuntimeConcurrencyTest, CancelledRequestsNeverCorruptShardState) {
   request.cancel = std::make_shared<util::CancelToken>();
   std::vector<std::future<util::Result<std::string>>> futures;
   for (const std::string& page : pages) {
-    futures.push_back(rt.Submit(*handle, page, request));
+    futures.push_back(
+        rt.Submit({runtime::PageRef::View(page), *handle, request}));
   }
   // Let some requests land, then cancel the rest of the batch.
   futures.front().wait();
@@ -770,14 +792,14 @@ TEST(WrapperRuntimeConcurrencyTest, CancelledRequestsNeverCorruptShardState) {
 
   // Shard-state integrity: the same corpus, no cancel, through the warm (and
   // partially populated) caches — every page byte-identical to sequential.
-  auto results = rt.RunBatch(*handle, pages);
+  auto results = rt.SubmitBatch(ViewBatch(*handle, pages));
   for (size_t i = 0; i < pages.size(); ++i) {
     ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
     EXPECT_EQ(*results[i], expected[i]);
   }
 }
 
-TEST(WrapperRuntimeConcurrencyTest, RunBatchIsDeterministicAndOrdered) {
+TEST(WrapperRuntimeConcurrencyTest, SubmitBatchIsDeterministicAndOrdered) {
   runtime::RuntimeOptions opts;
   opts.num_threads = 4;
   runtime::WrapperRuntime rt(opts);
@@ -788,8 +810,8 @@ TEST(WrapperRuntimeConcurrencyTest, RunBatchIsDeterministicAndOrdered) {
   for (uint64_t seed = 0; seed < 30; ++seed) {
     pages.push_back(CatalogPage(seed, 3 + static_cast<int32_t>(seed % 7)));
   }
-  auto first = rt.RunBatch(*handle, pages);
-  auto second = rt.RunBatch(*handle, pages);
+  auto first = rt.SubmitBatch(ViewBatch(*handle, pages));
+  auto second = rt.SubmitBatch(ViewBatch(*handle, pages));
   ASSERT_EQ(first.size(), pages.size());
   ASSERT_EQ(second.size(), pages.size());
   for (size_t i = 0; i < pages.size(); ++i) {

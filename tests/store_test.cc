@@ -270,7 +270,7 @@ TEST(CorpusStoreRuntimeTest, SnapshotServingIsByteIdenticalAcrossEngines) {
                         Engine::kSemiNaiveDatalog}) {
     runtime::RuntimeOptions plain_opts;
     plain_opts.engine = engine;
-    plain_opts.result_memo_bytes = 0;  // compare evaluations, not memo hits
+    plain_opts.result_memo.byte_budget = 0;  // compare evaluations, not memo hits
     runtime::WrapperRuntime plain(plain_opts);
 
     runtime::RuntimeOptions stored_opts = plain_opts;

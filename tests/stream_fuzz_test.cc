@@ -106,7 +106,7 @@ TEST(StreamFuzzTest, MutatedPagesNeverCrashAndAlwaysAgreeWithBatch) {
     size_t emitted = 0;
     stream::StreamOptions options;
     options.on_result = [&emitted](const stream::StreamResult&) { ++emitted; };
-    auto session = rt.SubmitStream(*handle, std::move(options));
+    auto session = rt.SubmitStream({.wrapper = *handle}, std::move(options));
     ASSERT_TRUE(session.ok()) << context;
     util::Status feed_status;
     for (const std::string& chunk : ChunkUp(mutant, rng)) {
@@ -145,7 +145,7 @@ TEST(StreamFuzzTest, TruncationAtEveryByteOfASmallPageAgreesWithBatch) {
   for (size_t cut = 0; cut <= page.size(); ++cut) {
     const std::string prefix = page.substr(0, cut);
     auto batch = rt.Wrap(*handle, prefix);
-    auto session = rt.SubmitStream(*handle, {});
+    auto session = rt.SubmitStream({.wrapper = *handle}, {});
     ASSERT_TRUE(session.ok());
     // Two-chunk split in the middle of the prefix, for variety.
     if (cut > 1) {

@@ -260,7 +260,7 @@ void CheckOneChunking(runtime::WrapperRuntime& rt,
   options.on_result = [&emitted](const stream::StreamResult& r) {
     emitted.push_back(r);
   };
-  auto session = rt.SubmitStream(handle, std::move(options));
+  auto session = rt.SubmitStream({.wrapper = handle}, std::move(options));
   ASSERT_TRUE(session.ok()) << context;
   for (const std::string& chunk : chunks) {
     ASSERT_TRUE((*session)->Feed(chunk).ok()) << context;
@@ -398,7 +398,7 @@ TEST(StreamSessionTest, EmitsResultsBeforeEndOfInput) {
   options.on_result = [&emitted_during_feed](const stream::StreamResult&) {
     ++emitted_during_feed;
   };
-  auto session = rt.SubmitStream(*handle, std::move(options));
+  auto session = rt.SubmitStream({.wrapper = *handle}, std::move(options));
   ASSERT_TRUE(session.ok());
   EXPECT_TRUE((*session)->streaming());
 
@@ -458,7 +458,7 @@ TEST(StreamDeadlineTest, MillisecondDeadlineKillsMultiMegabyteSession) {
 
   runtime::RequestOptions request;
   request.deadline = util::Deadline::After(std::chrono::milliseconds(1));
-  auto session = rt.SubmitStream(*handle, {}, request);
+  auto session = rt.SubmitStream({.wrapper = *handle, .options = request}, {});
   if (!session.ok()) {
     // The millisecond elapsed before the session even opened (slow machine):
     // still the typed failure, still counted.
@@ -493,7 +493,7 @@ TEST(StreamSessionTest, EmptyAndContentFreeInputsFailLikeBatch) {
   auto handle = rt.Register(GenericWrapper(), "");
   ASSERT_TRUE(handle.ok());
   for (const std::string page : {"", "<!-- only a comment -->"}) {
-    auto session = rt.SubmitStream(*handle, {});
+    auto session = rt.SubmitStream({.wrapper = *handle}, {});
     ASSERT_TRUE(session.ok());
     if (!page.empty()) ASSERT_TRUE((*session)->Feed(page).ok());
     auto xml = (*session)->Finish();
@@ -513,7 +513,7 @@ TEST(StreamSessionTest, FeedAfterFinishFails) {
   runtime::WrapperRuntime rt;
   auto handle = rt.Register(GenericWrapper(), "");
   ASSERT_TRUE(handle.ok());
-  auto session = rt.SubmitStream(*handle, {});
+  auto session = rt.SubmitStream({.wrapper = *handle}, {});
   ASSERT_TRUE(session.ok());
   ASSERT_TRUE((*session)->Feed("<div>x</div>").ok());
   ASSERT_TRUE((*session)->Finish().ok());
@@ -528,7 +528,7 @@ TEST(StreamSessionTest, PeakMemoryObservability) {
   runtime::WrapperRuntime rt;
   auto handle = rt.Register(CatalogWrapper(), "class");
   ASSERT_TRUE(handle.ok());
-  auto session = rt.SubmitStream(*handle, {});
+  auto session = rt.SubmitStream({.wrapper = *handle}, {});
   ASSERT_TRUE(session.ok());
   for (const std::string& chunk : FixedChunks(page, 97)) {
     ASSERT_TRUE((*session)->Feed(chunk).ok());
@@ -558,7 +558,7 @@ TEST(StreamSessionTest, DeltaProgramFallsBackButStillStreamsTheParse) {
   options.on_result = [&emitted](const stream::StreamResult& r) {
     emitted.push_back(r);
   };
-  auto session = rt.SubmitStream(*handle, std::move(options));
+  auto session = rt.SubmitStream({.wrapper = *handle}, std::move(options));
   ASSERT_TRUE(session.ok());
   EXPECT_FALSE((*session)->streaming());
 
@@ -595,7 +595,7 @@ TEST(StreamConcurrencyTest, ParallelSessionsOnOneRuntimeAgreeWithBatch) {
   std::vector<std::thread> threads;
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&, i] {
-      auto session = rt.SubmitStream(*handle, {});
+      auto session = rt.SubmitStream({.wrapper = *handle}, {});
       ASSERT_TRUE(session.ok());
       for (const std::string& chunk : RandomChunks(pages[i], 900 + i)) {
         ASSERT_TRUE((*session)->Feed(chunk).ok());

@@ -355,7 +355,7 @@ TEST(RuntimeTelemetryTest, StreamSessionTraceClosesOnDeadline) {
   runtime::RequestOptions request;
   request.deadline = util::Deadline::After(std::chrono::milliseconds(1));
   request.trace = &trace;
-  auto session = rt.SubmitStream(*handle, {}, request);
+  auto session = rt.SubmitStream({.wrapper = *handle, .options = request}, {});
   if (session.ok()) {
     util::Status s;
     for (int i = 0; i < 64 && s.ok(); ++i) s = (*session)->Feed(page);
@@ -372,7 +372,7 @@ TEST(RuntimeTelemetryTest, StreamSessionTraceClosesOnDeadline) {
 TEST(RuntimeTelemetryTest, TraceRingIsBoundedAndSamplingThins) {
   runtime::RuntimeOptions options;
   options.telemetry.trace_ring_capacity = 4;
-  options.result_memo_bytes = 0;  // every request evaluates
+  options.result_memo.byte_budget = 0;  // every request evaluates
   runtime::WrapperRuntime rt(options);
   auto handle = rt.Register(CatalogWrapper(), "class");
   ASSERT_TRUE(handle.ok());
@@ -383,7 +383,7 @@ TEST(RuntimeTelemetryTest, TraceRingIsBoundedAndSamplingThins) {
 
   runtime::RuntimeOptions sampled;
   sampled.telemetry.trace_sample_every = 4;
-  sampled.result_memo_bytes = 0;
+  sampled.result_memo.byte_budget = 0;
   runtime::WrapperRuntime rt2(sampled);
   auto handle2 = rt2.Register(CatalogWrapper(), "class");
   ASSERT_TRUE(handle2.ok());
@@ -393,6 +393,66 @@ TEST(RuntimeTelemetryTest, TraceRingIsBoundedAndSamplingThins) {
   EXPECT_EQ(rt2.telemetry().RecentTraces().size(), 2u);  // 1 in 4 of 8
   // Sampling gates tracing only; the serving counters stay exact.
   EXPECT_EQ(rt2.stats().pages_wrapped, 8);
+}
+
+// ---------------------------------------------------------------------------
+// RequestOptions::trace lifetime contract
+// ---------------------------------------------------------------------------
+
+TEST(TraceLifetimeTest, StreamSessionHoldsAnInflightReferenceForItsLifetime) {
+  runtime::WrapperRuntime rt;
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  telemetry::TraceContext trace("stream");
+  EXPECT_EQ(trace.inflight_requests(), 0);
+  runtime::RequestOptions request;
+  request.trace = &trace;
+  auto session = rt.SubmitStream({.wrapper = *handle, .options = request}, {});
+  ASSERT_TRUE(session.ok());
+  // The session references the caller's trace until destroyed — the count
+  // is what the trace's destructor asserts on in debug builds.
+  EXPECT_EQ(trace.inflight_requests(), 1);
+  ASSERT_TRUE((*session)->Feed(CatalogPage(31, 3)).ok());
+  ASSERT_TRUE((*session)->Finish().ok());
+  EXPECT_EQ(trace.inflight_requests(), 1);  // finished ≠ destroyed
+  session->reset();
+  EXPECT_EQ(trace.inflight_requests(), 0);  // now safe to destroy the trace
+}
+
+TEST(TraceLifetimeTest, SubmitReleasesTheTraceBeforeTheFutureResolves) {
+  runtime::RuntimeOptions options;
+  options.num_threads = 1;
+  runtime::WrapperRuntime rt(options);
+  auto handle = rt.Register(CatalogWrapper(), "class");
+  ASSERT_TRUE(handle.ok());
+
+  telemetry::TraceContext trace("wrap");
+  runtime::RequestOptions request;
+  request.trace = &trace;
+  const std::string page = CatalogPage(32, 4);
+  auto future = rt.Submit({runtime::PageRef::View(page), *handle, request});
+  ASSERT_TRUE(future.get().ok());
+  // The release is sequenced strictly before the future becomes ready, so
+  // after get() the caller may destroy the trace immediately.
+  EXPECT_EQ(trace.inflight_requests(), 0);
+  EXPECT_FALSE(trace.spans().empty());
+}
+
+TEST(TraceLifetimeDeathTest, DestroyingATraceWithInflightRequestsAsserts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "lifetime assertion compiles out under NDEBUG";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        telemetry::TraceContext trace("wrap");
+        trace.AddInflightRequest();
+        // Destructor fires with the count still at 1 — the use-after-free
+        // setup the assertion exists to catch.
+      },
+      "TraceContext destroyed while an async request");
+#endif
 }
 
 // ---------------------------------------------------------------------------
